@@ -1,0 +1,92 @@
+// Ablation for the degree-classification design (Section 4, "Classification
+// of small, medium and large worklists"): the paper reports performance is
+// stable for a small/medium separator in [4, 128] and a medium/large
+// separator in [128, 2048], dropping outside those ranges — and that having
+// no classification at all costs real time on skewed graphs (a warp
+// serializes on its largest vertex).
+#include <iostream>
+
+#include "algos/algos.h"
+#include "common.h"
+#include "simt/device.h"
+
+namespace simdx::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const DeviceSpec device = MakeK40();
+  const std::vector<std::string> graphs =
+      args.graphs.empty() ? std::vector<std::string>{"FB", "KR", "OR", "UK", "TW"}
+                          : args.graphs;
+
+  // --- small/medium separator sweep (medium/large fixed at 128) ---
+  const std::vector<uint32_t> small_seps = {2, 4, 16, 32, 64, 128};
+  std::vector<std::string> headers = {"Graph"};
+  for (uint32_t s : small_seps) {
+    headers.push_back("s=" + std::to_string(s));
+  }
+  headers.push_back("none");
+  Table sweep(headers);
+
+  for (const std::string& name : graphs) {
+    const Graph& g = CachedPreset(name);
+    std::vector<std::string> row = {name};
+    double best = 1e300;
+    std::vector<double> times;
+    for (uint32_t s : small_seps) {
+      EngineOptions o;
+      o.small_degree_limit = s;
+      o.medium_degree_limit = std::max(128u, s);
+      const auto result = RunSssp(g, DefaultSource(g), device, o);
+      times.push_back(result.stats.time.ms);
+      best = std::min(best, result.stats.time.ms);
+    }
+    EngineOptions none;
+    none.classify_worklists = false;
+    const auto unclassified = RunSssp(g, DefaultSource(g), device, none);
+    for (double t : times) {
+      row.push_back(Speedup(best / t));
+    }
+    row.push_back(Speedup(best / unclassified.stats.time.ms));
+    sweep.AddRow(row);
+  }
+  sweep.Print(
+      "Ablation: small/medium worklist separator (relative to best; paper: "
+      "stable across [4,128]; 'none' = thread-per-vertex, no classification)");
+
+  // --- medium/large separator sweep (small fixed at 32) ---
+  const std::vector<uint32_t> large_seps = {64, 128, 256, 1024, 2048, 8192};
+  std::vector<std::string> headers2 = {"Graph"};
+  for (uint32_t s : large_seps) {
+    headers2.push_back("m=" + std::to_string(s));
+  }
+  Table sweep2(headers2);
+  for (const std::string& name : graphs) {
+    const Graph& g = CachedPreset(name);
+    std::vector<std::string> row = {name};
+    double best = 1e300;
+    std::vector<double> times;
+    for (uint32_t s : large_seps) {
+      EngineOptions o;
+      o.medium_degree_limit = s;
+      const auto result = RunSssp(g, DefaultSource(g), device, o);
+      times.push_back(result.stats.time.ms);
+      best = std::min(best, result.stats.time.ms);
+    }
+    for (double t : times) {
+      row.push_back(Speedup(best / t));
+    }
+    sweep2.AddRow(row);
+  }
+  sweep2.Print(
+      "Ablation: medium/large worklist separator (paper: stable across "
+      "[128,2048])");
+  sweep2.WriteCsv(args.csv_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace simdx::bench
+
+int main(int argc, char** argv) { return simdx::bench::Main(argc, argv); }

@@ -1,0 +1,181 @@
+#include "common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+namespace simdx::bench {
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--csv" && i + 1 < argc) {
+      args.csv_path = argv[++i];
+    } else if (arg == "--graphs" && i + 1 < argc) {
+      std::istringstream ss(argv[++i]);
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        if (!token.empty()) {
+          args.graphs.push_back(token);
+        }
+      }
+    } else if (arg == "--quick") {
+      args.quick = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--csv out.csv] [--graphs FB,ER,...] [--quick]\n";
+    }
+  }
+  return args;
+}
+
+std::vector<std::string> SelectedPresets(const BenchArgs& args) {
+  if (!args.graphs.empty()) {
+    return args.graphs;
+  }
+  std::vector<std::string> names;
+  for (const PresetInfo& info : AllPresets()) {
+    names.push_back(info.abbrev);
+  }
+  return names;
+}
+
+const Graph& CachedPreset(const std::string& abbrev) {
+  static std::map<std::string, Graph> cache;
+  auto it = cache.find(abbrev);
+  if (it == cache.end()) {
+    it = cache.emplace(abbrev, LoadPreset(abbrev)).first;
+  }
+  return it->second;
+}
+
+VertexId DefaultSource(const Graph& g) {
+  VertexId best = 0;
+  uint32_t best_degree = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.OutDegree(v) > best_degree) {
+      best_degree = g.OutDegree(v);
+      best = v;
+    }
+  }
+  return best;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(const std::string& title) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::cout << (c == 0 ? "" : "  ");
+      std::cout.width(static_cast<std::streamsize>(width[c]));
+      std::cout << (c == 0 ? std::left : std::right) << row[c];
+      std::cout.unsetf(std::ios::adjustfield);
+    }
+    std::cout << '\n';
+  };
+  print_row(headers_);
+  size_t total = headers_.size() - 1;
+  for (size_t w : width) {
+    total += w + 1;
+  }
+  std::cout << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void Table::WriteCsv(const std::optional<std::string>& path) const {
+  if (!path) {
+    return;
+  }
+  std::ofstream out(*path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) {
+        out << ',';
+      }
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+}
+
+std::string Ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ms < 10 ? "%.2f" : "%.1f", ms);
+  return buf;
+}
+
+std::string Speedup(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", x);
+  return buf;
+}
+
+std::string Count(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int next_comma = static_cast<int>(digits.size()) % 3;
+  if (next_comma == 0) {
+    next_comma = 3;
+  }
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && static_cast<int>(i) == next_comma) {
+      out += ',';
+      next_comma += 3;
+    }
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string CellOrDash(bool present, const std::string& cell) {
+  return present ? cell : "-";
+}
+
+size_t ScaledMemoryBudget(const DeviceSpec& device) {
+  return static_cast<size_t>(
+      static_cast<double>(device.global_memory_bytes) / PresetScaleFactor());
+}
+
+double PaperScaleMs(const RunStats& stats) {
+  const double parallel_ms = std::max(0.0, stats.time.ms - stats.serial_ms);
+  return parallel_ms * PresetScaleFactor() + stats.serial_ms;
+}
+
+double GeoMean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace simdx::bench

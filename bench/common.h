@@ -1,0 +1,80 @@
+// Shared harness utilities for the per-table/per-figure benchmark binaries.
+// Every binary prints an aligned text table mirroring the paper's rows and,
+// with --csv <path>, also writes machine-readable output.
+#ifndef SIMDX_BENCH_COMMON_H_
+#define SIMDX_BENCH_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "graph/graph.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx::bench {
+
+// Parsed command line: --csv <path> to dump CSV, --graphs FB,ER,... to
+// restrict the preset set (speeds up smoke runs), --quick for a reduced
+// sweep where a binary supports it.
+struct BenchArgs {
+  std::optional<std::string> csv_path;
+  std::vector<std::string> graphs;  // empty = all presets
+  bool quick = false;
+};
+
+BenchArgs ParseArgs(int argc, char** argv);
+
+// Presets selected by the args (defaults to the paper's 11).
+std::vector<std::string> SelectedPresets(const BenchArgs& args);
+
+// Caches LoadPreset results so multi-experiment binaries build each graph
+// once.
+const Graph& CachedPreset(const std::string& abbrev);
+
+// Traversal source: the highest-out-degree vertex (synthetic generators can
+// leave low ids isolated; starting from a hub matches the paper's setup of
+// traversing the giant component).
+VertexId DefaultSource(const Graph& g);
+
+// ---- table rendering ----
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Prints aligned columns to stdout with a title banner.
+  void Print(const std::string& title) const;
+  // Writes CSV (headers + rows) if path is set.
+  void WriteCsv(const std::optional<std::string>& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats helpers.
+std::string Ms(double ms);               // "12.34"
+std::string Speedup(double x);           // "3.2x"
+std::string Count(uint64_t n);           // grouped digits
+std::string CellOrDash(bool present, const std::string& cell);  // "-" for OOM
+
+// Memory budget scaled to the preset family (Table 4 OOM modelling): the
+// device's global memory divided by the ~1000x graph-scale factor.
+size_t ScaledMemoryBudget(const DeviceSpec& device);
+
+// Projects a run's time from the 1/1000-scale presets back to paper scale:
+// the parallel portion grows with the graph, the serial overheads (launches,
+// barriers, per-iteration sync) do not. Iteration counts and control flow
+// are scale-invariant for these workloads, so the projection is affine and
+// exact under the cost model.
+double PaperScaleMs(const RunStats& stats);
+
+// Geometric mean of ratios, ignoring non-positive entries.
+double GeoMean(const std::vector<double>& values);
+
+}  // namespace simdx::bench
+
+#endif  // SIMDX_BENCH_COMMON_H_

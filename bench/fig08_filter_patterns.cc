@@ -1,0 +1,86 @@
+// Figure 8: which filter the JIT controller activates at each iteration of
+// BFS, k-Core and SSSP on every graph.
+//
+// Paper expectations encoded in the "Expect" column:
+//  * BFS/SSSP: online at the thin start and end, ballot in the flooded
+//    middle — except on high-diameter road graphs (ER, RC), which stay
+//    online for their entire thousands-of-iterations run.
+//  * k-Core: ballot for the heavy initial peel, online afterwards.
+#include <iostream>
+
+#include "algos/algos.h"
+#include "common.h"
+#include "simt/device.h"
+
+namespace simdx::bench {
+namespace {
+
+// Compresses "OOOBBBBO" into "O*3 B*4 O*1".
+std::string Compress(const std::string& pattern) {
+  std::string out;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    size_t j = i;
+    while (j < pattern.size() && pattern[j] == pattern[i]) {
+      ++j;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += pattern[i];
+    out += '*';
+    out += std::to_string(j - i);
+    i = j;
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string ExpectFor(const std::string& algo, const std::string& graph) {
+  const bool road = graph == "ER" || graph == "RC";
+  if (algo == "k-Core") {
+    return "ballot first, then online";
+  }
+  return road ? "online only (high diameter)" : "online-ballot-online";
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const DeviceSpec device = MakeK40();
+  const EngineOptions options;
+
+  Table table({"Alg", "Graph", "Iter", "Online", "Ballot", "Pattern", "Expect"});
+  for (const std::string& name : SelectedPresets(args)) {
+    const Graph& g = CachedPreset(name);
+    struct Row {
+      std::string algo;
+      RunStats stats;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"BFS", RunBfs(g, DefaultSource(g), device, options).stats});
+    rows.push_back({"SSSP", RunSssp(g, DefaultSource(g), device, options).stats});
+    rows.push_back({"k-Core", RunKCore(g, 16, device, options).stats});
+    for (const Row& row : rows) {
+      uint64_t online = 0;
+      uint64_t ballot = 0;
+      for (char c : row.stats.filter_pattern) {
+        online += c == 'O';
+        ballot += c == 'B';
+      }
+      std::string pattern = Compress(row.stats.filter_pattern);
+      if (pattern.size() > 42) {
+        pattern = pattern.substr(0, 39) + "...";
+      }
+      table.AddRow({row.algo, name, std::to_string(row.stats.iterations),
+                    std::to_string(online), std::to_string(ballot), pattern,
+                    ExpectFor(row.algo, name)});
+    }
+  }
+  table.Print("Figure 8: JIT filter activation patterns (O=online, B=ballot)");
+  table.WriteCsv(args.csv_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace simdx::bench
+
+int main(int argc, char** argv) { return simdx::bench::Main(argc, argv); }

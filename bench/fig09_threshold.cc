@@ -1,0 +1,103 @@
+// Figure 9(a): BFS performance as a function of the online filter's
+// overflow threshold — too low switches to ballot prematurely, too high
+// wastes bin memory and concatenation work; the paper picks 64.
+// Figure 9(b): the overhead of keeping the (threshold-capped) online filter
+// recording while the ballot filter is active — ~0.02% average, 2.1% max.
+#include <iostream>
+
+#include "algos/algos.h"
+#include "common.h"
+#include "simt/device.h"
+
+namespace simdx::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const DeviceSpec device = MakeK40();
+  const std::vector<uint32_t> thresholds =
+      args.quick ? std::vector<uint32_t>{16, 64, 1024}
+                 : std::vector<uint32_t>{4, 16, 64, 256, 1024, 4096, 16384};
+
+  // --- Figure 9(a): threshold sweep on BFS ---
+  std::vector<std::string> headers = {"Graph"};
+  for (uint32_t t : thresholds) {
+    headers.push_back("t=" + std::to_string(t));
+  }
+  Table sweep(headers);
+  std::vector<std::vector<double>> columns(thresholds.size());
+
+  for (const std::string& name : SelectedPresets(args)) {
+    const Graph& g = CachedPreset(name);
+    std::vector<double> times;
+    double best = 1e300;
+    for (uint32_t t : thresholds) {
+      EngineOptions o;
+      o.overflow_threshold = t;
+      const auto result = RunBfs(g, DefaultSource(g), device, o);
+      times.push_back(result.stats.time.ms);
+      best = std::min(best, result.stats.time.ms);
+    }
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < thresholds.size(); ++i) {
+      const double relative = best / times[i];  // 1.0 = best threshold
+      columns[i].push_back(relative);
+      row.push_back(Speedup(relative));
+    }
+    sweep.AddRow(row);
+  }
+  std::vector<std::string> avg_row = {"Geomean"};
+  for (const auto& col : columns) {
+    avg_row.push_back(Speedup(GeoMean(col)));
+  }
+  sweep.AddRow(avg_row);
+  sweep.Print(
+      "Figure 9(a): BFS performance vs online-filter overflow threshold "
+      "(relative to each graph's best; paper's default 64 should sit at/near "
+      "the top)");
+
+  // --- Figure 9(b): shadow online filter overhead during ballot mode ---
+  Table overhead({"Graph", "SSSP ms", "Ballot iters", "Shadow cost (ms)",
+                  "Overhead %"});
+  std::vector<double> overheads;
+  for (const std::string& name : SelectedPresets(args)) {
+    const Graph& g = CachedPreset(name);
+    EngineOptions o;
+    const auto result = RunSssp(g, DefaultSource(g), device, o);
+    uint64_t ballot_iters = 0;
+    for (char c : result.stats.filter_pattern) {
+      ballot_iters += c == 'B';
+    }
+    // While ballot is active, the shadow filter records at most
+    // `overflow_threshold` scattered words per worker bin fill; in practice
+    // the bins fill instantly, so the bound is threshold words/iteration.
+    CostCounters shadow;
+    shadow.scattered_words = ballot_iters * o.overflow_threshold;
+    const SimTime shadow_time = EstimateTime(shadow, device, 1.0);
+    const double pct = result.stats.time.ms > 0
+                           ? 100.0 * shadow_time.ms / result.stats.time.ms
+                           : 0.0;
+    overheads.push_back(pct);
+    char pct_buf[32];
+    std::snprintf(pct_buf, sizeof(pct_buf), "%.3f%%", pct);
+    overhead.AddRow({name, Ms(result.stats.time.ms), std::to_string(ballot_iters),
+                     Ms(shadow_time.ms), pct_buf});
+  }
+  double max_pct = 0.0;
+  double sum = 0.0;
+  for (double pct : overheads) {
+    max_pct = std::max(max_pct, pct);
+    sum += pct;
+  }
+  std::cout << "Shadow-filter overhead: avg "
+            << (overheads.empty() ? 0.0 : sum / overheads.size()) << "%, max "
+            << max_pct << "%  (paper: avg 0.02%, max 2.1%)\n";
+  overhead.Print("Figure 9(b): overhead of the always-on online filter");
+  overhead.WriteCsv(args.csv_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace simdx::bench
+
+int main(int argc, char** argv) { return simdx::bench::Main(argc, argv); }

@@ -1,0 +1,163 @@
+// Table 4: runtime of SIMD-X against CuSha-like and Gunrock-like GPU
+// baselines and Galois-/Ligra-like CPU baselines, for BFS / PageRank /
+// SSSP / k-Core on the eleven preset graphs.
+//
+// Device memory is scaled by the same ~1000x factor as the graphs, so the
+// paper's out-of-memory rows ("-") reappear: CuSha's doubled edge-list
+// format on the largest graphs, Gunrock's 2|E| SSSP batch filter on most of
+// them. Two rows the paper reports as CPU-framework failures (Galois SSSP
+// on ER not converging, Ligra BFS on UK) are real-system crashes we do not
+// fake; they are annotated in EXPERIMENTS.md instead.
+//
+// Expected shape: SIMD-X leads almost everywhere; CuSha is competitive on
+// PageRank (full-sweep algorithms hide its lack of task management) but
+// collapses on high-diameter SSSP; CPU engines win nothing big but avoid
+// OOM entirely.
+#include <iostream>
+
+#include "algos/algos.h"
+#include "baselines/cpu_engine.h"
+#include "baselines/cusha_like.h"
+#include "baselines/gunrock_like.h"
+#include "common.h"
+#include "simt/device.h"
+
+namespace simdx::bench {
+namespace {
+
+struct Cell {
+  bool ran = false;
+  double ms = 0.0;
+};
+
+std::string Render(const Cell& cell) {
+  return cell.ran ? Ms(cell.ms) : "-";
+}
+
+struct SystemRows {
+  std::vector<std::string> names;        // row labels
+  std::vector<std::vector<Cell>> cells;  // [system][graph]
+};
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const DeviceSpec device = MakeK40();
+  const size_t gpu_budget = ScaledMemoryBudget(device);
+  const std::vector<std::string> graphs = SelectedPresets(args);
+
+  EngineOptions simdx_opts;
+  simdx_opts.memory_budget_bytes = gpu_budget;
+  EngineOptions gunrock_opts = GunrockLikeOptions();
+  gunrock_opts.memory_budget_bytes = gpu_budget;
+  CushaLikeOptions cusha_opts;
+  cusha_opts.memory_budget_bytes = gpu_budget;
+
+  auto run_algorithm = [&](const std::string& algo) {
+    SystemRows rows;
+    rows.names = {"SIMD-X", "CuSha", "Gunrock", "Galois", "Ligra"};
+    rows.cells.assign(rows.names.size(), {});
+    for (const std::string& name : graphs) {
+      const Graph& g = CachedPreset(name);
+      // Times are projected to paper scale (see PaperScaleMs) so the rows
+      // compare against the paper's Table 4 milliseconds directly.
+      auto record = [&](size_t system, const RunStats& stats) {
+        rows.cells[system].push_back(Cell{stats.ok(), PaperScaleMs(stats)});
+      };
+      if (algo == "BFS") {
+        BfsProgram p;
+        p.source = DefaultSource(g);
+        const auto sx = RunBfs(g, p.source, device, simdx_opts);
+        record(0, sx.stats);
+        const auto cu = RunCushaLike(g, p, device, cusha_opts);
+        record(1, cu.stats);
+        Engine<BfsProgram> gr(g, device, gunrock_opts);
+        const auto gk = gr.Run(p);
+        record(2, gk.stats);
+        const auto ga = RunCpuFrontier(g, p, GaloisLikeOptions());
+        record(3, ga.stats);
+        const auto li = RunCpuFrontier(g, p, LigraLikeOptions());
+        record(4, li.stats);
+      } else if (algo == "PR") {
+        PageRankProgram p;
+        p.graph = &g;
+        p.epsilon = 1e-8;
+        const auto sx = RunPageRank(g, device, simdx_opts, 1e-8);
+        record(0, sx.stats);
+        const auto cu = RunCushaLike(g, p, device, cusha_opts);
+        record(1, cu.stats);
+        Engine<PageRankProgram> gr(g, device, gunrock_opts);
+        const auto gk = gr.Run(p);
+        record(2, gk.stats);
+        const auto ga = RunCpuFrontier(g, p, GaloisLikeOptions());
+        record(3, ga.stats);
+        const auto li = RunCpuFrontier(g, p, LigraLikeOptions());
+        record(4, li.stats);
+      } else if (algo == "SSSP") {
+        SsspProgram p;
+        p.source = DefaultSource(g);
+        const auto sx = RunSssp(g, p.source, device, simdx_opts);
+        record(0, sx.stats);
+        const auto cu = RunCushaLike(g, p, device, cusha_opts);
+        record(1, cu.stats);
+        Engine<SsspProgram> gr(g, device, gunrock_opts);
+        const auto gk = gr.Run(p);
+        record(2, gk.stats);
+        const auto ga = RunCpuFrontier(g, p, GaloisLikeOptions());
+        record(3, ga.stats);
+        const auto li = RunCpuFrontier(g, p, LigraLikeOptions());
+        record(4, li.stats);
+      } else {  // k-Core, k = 32 as in Table 4; paper compares Ligra only
+        KCoreProgram p;
+        p.graph = &g;
+        p.k = 32;
+        const auto sx = RunKCore(g, 32, device, simdx_opts);
+        record(0, sx.stats);
+        rows.cells[1].push_back(Cell{});  // unsupported by CuSha in the paper
+        rows.cells[2].push_back(Cell{});  // unsupported by Gunrock in the paper
+        rows.cells[3].push_back(Cell{});  // unsupported by Galois in the paper
+        const auto li = RunCpuFrontier(g, p, LigraLikeOptions());
+        record(4, li.stats);
+      }
+    }
+
+    std::vector<std::string> headers = {"System"};
+    headers.insert(headers.end(), graphs.begin(), graphs.end());
+    headers.push_back("Avg speedup");
+    Table table(headers);
+    for (size_t s = 0; s < rows.names.size(); ++s) {
+      std::vector<std::string> row = {rows.names[s]};
+      std::vector<double> speedups;
+      for (size_t gi = 0; gi < graphs.size(); ++gi) {
+        row.push_back(Render(rows.cells[s][gi]));
+        if (s > 0 && rows.cells[s][gi].ran && rows.cells[0][gi].ran &&
+            rows.cells[0][gi].ms > 0) {
+          speedups.push_back(rows.cells[s][gi].ms / rows.cells[0][gi].ms);
+        }
+      }
+      row.push_back(s == 0 ? std::string("1.00x (base)")
+                           : (speedups.empty() ? std::string("-")
+                                               : Speedup(GeoMean(speedups))));
+      table.AddRow(row);
+    }
+    table.Print("Table 4 [" + algo +
+                "]: runtime (ms, projected to paper scale); '-' = OOM or "
+                "unsupported; Avg "
+                "speedup = geomean of system/SIMD-X");
+    if (args.csv_path) {
+      table.WriteCsv(std::string(*args.csv_path) + "." + algo + ".csv");
+    }
+  };
+
+  for (const std::string& algo : {"BFS", "PR", "SSSP", "k-Core"}) {
+    run_algorithm(algo);
+  }
+  std::cout << "\nPaper reference (Table 4 averages): SIMD-X beats CuSha ~24x "
+               "(9.6x BFS, 1.2x PR, 62x SSSP), Gunrock ~2.9x, Galois ~6.5x, "
+               "Ligra ~3.3x (20x on k-Core).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace simdx::bench
+
+int main(int argc, char** argv) { return simdx::bench::Main(argc, argv); }

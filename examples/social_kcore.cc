@@ -1,0 +1,54 @@
+// Social-network k-core decomposition — the paper's graph-visualization
+// use case (Section 6): peel away weakly-connected users until only the
+// densely-knit core remains.
+//
+// Sweeps k over a social graph, reporting core sizes, and shows the
+// heavy-then-light workload signature that makes k-Core the JIT task
+// manager's best case (ballot for the initial mass peel, online for the
+// trickle).
+//
+//   ./social_kcore [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algos/algos.h"
+#include "graph/presets.h"
+#include "graph/stats.h"
+#include "simt/device.h"
+
+int main(int argc, char** argv) {
+  using namespace simdx;
+  const uint32_t chosen_k = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+
+  const Graph g = LoadPreset("OR");  // Orkut-like social network
+  std::printf("Social network: %u users, %llu friendships\n", g.vertex_count(),
+              static_cast<unsigned long long>(g.edge_count()));
+
+  const DeviceSpec device = MakeK40();
+
+  // Sweep k: the surviving core shrinks as the requirement tightens.
+  std::printf("\n  k    core size   iterations   time(ms)\n");
+  for (uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto result = RunKCore(g, k, device, EngineOptions{});
+    uint32_t survivors = 0;
+    for (const auto& value : result.values) {
+      survivors += !value.removed;
+    }
+    std::printf("  %-4u %9u   %10u   %8.3f\n", k, survivors, result.stats.iterations,
+                result.stats.time.ms);
+  }
+
+  // Detail run at the chosen k: workload shape + filter choices.
+  const auto result = RunKCore(g, chosen_k, device, EngineOptions{});
+  std::printf("\nk=%u in detail (filter per iteration: %s)\n", chosen_k,
+              result.stats.filter_pattern.c_str());
+  for (const auto& log : result.stats.iteration_logs) {
+    std::printf("  iteration %-3u removed-frontier %-8llu edges %-9llu filter %c\n",
+                log.iteration, static_cast<unsigned long long>(log.frontier_size),
+                static_cast<unsigned long long>(log.edges_processed), log.filter);
+  }
+  std::printf("\nThe first iteration carries the mass peel (ballot filter); the "
+              "tail is a trickle (online filter) — the workload variation the "
+              "paper's Figure 12 credits for k-Core's 26x JIT win.\n");
+  return 0;
+}

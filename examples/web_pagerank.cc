@@ -1,0 +1,65 @@
+// Web-graph PageRank — the pull-then-push pattern of the paper's Section 6:
+// PageRank starts in pull mode with a sum aggregation, and switches to push
+// once most vertices have stabilized (delta/residual propagation a la
+// Maiter [72]).
+//
+// Generates a skewed web-like crawl graph, ranks it, prints the top pages
+// and the direction/filter telemetry showing the pull-to-push switch.
+//
+//   ./web_pagerank [scale] [edge_factor]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "algos/algos.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "simt/device.h"
+
+int main(int argc, char** argv) {
+  using namespace simdx;
+  const uint32_t scale = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 13;
+  const uint32_t edge_factor = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+
+  // Web crawls are directed and more skewed than social networks.
+  const Graph g = Graph::FromEdges(
+      GenerateRmat(scale, edge_factor, /*seed=*/2002, RmatParams{0.65, 0.15, 0.15}),
+      /*directed=*/true, 0, "webcrawl");
+  const DegreeStats stats = ComputeOutDegreeStats(g);
+  std::printf("Web graph: %u pages, %llu links, max out-degree %u (skew %.0fx)\n",
+              g.vertex_count(), static_cast<unsigned long long>(g.edge_count()),
+              stats.max, stats.skew());
+
+  const DeviceSpec device = MakeK40();
+  EngineOptions options;
+  const auto pr = RunPageRank(g, device, options, /*epsilon=*/1e-9);
+  std::printf("\nPageRank converged after %u iterations, %.3f simulated ms\n",
+              pr.stats.iterations, pr.stats.time.ms);
+
+  // The Section 6 signature: pull early, push late.
+  const auto& dirs = pr.stats.direction_pattern;
+  const size_t first_push = dirs.find('p');
+  std::printf("  direction pattern: %s\n", dirs.c_str());
+  if (first_push != std::string::npos) {
+    std::printf("  switched from pull to push at iteration %zu of %u\n",
+                first_push, pr.stats.iterations);
+  }
+
+  // Top pages by rank.
+  std::vector<VertexId> order(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    order[v] = v;
+  }
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](VertexId a, VertexId b) {
+                      return pr.values[a].rank > pr.values[b].rank;
+                    });
+  std::printf("\n  top pages:\n");
+  for (int i = 0; i < 5; ++i) {
+    const VertexId v = order[i];
+    std::printf("   #%d page %-7u rank %.3e  in-degree %u\n", i + 1, v,
+                pr.values[v].rank, g.InDegree(v));
+  }
+  return 0;
+}

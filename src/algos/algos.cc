@@ -1,0 +1,71 @@
+#include "algos/algos.h"
+
+namespace simdx {
+
+RunResult<uint32_t> RunBfs(const Graph& g, VertexId source, const DeviceSpec& device,
+                           const EngineOptions& options) {
+  BfsProgram program;
+  program.source = source;
+  Engine<BfsProgram> engine(g, device, options);
+  return engine.Run(program);
+}
+
+RunResult<uint32_t> RunSssp(const Graph& g, VertexId source,
+                            const DeviceSpec& device, const EngineOptions& options) {
+  SsspProgram program;
+  program.source = source;
+  Engine<SsspProgram> engine(g, device, options);
+  return engine.Run(program);
+}
+
+RunResult<PageRankValue> RunPageRank(const Graph& g, const DeviceSpec& device,
+                                     const EngineOptions& options, double epsilon) {
+  PageRankProgram program;
+  program.graph = &g;
+  program.epsilon = epsilon;
+  Engine<PageRankProgram> engine(g, device, options);
+  return engine.Run(program);
+}
+
+RunResult<KCoreValue> RunKCore(const Graph& g, uint32_t k, const DeviceSpec& device,
+                               const EngineOptions& options) {
+  KCoreProgram program;
+  program.graph = &g;
+  program.k = k;
+  Engine<KCoreProgram> engine(g, device, options);
+  return engine.Run(program);
+}
+
+RunResult<double> RunBp(const Graph& g, uint32_t rounds, const DeviceSpec& device,
+                        const EngineOptions& options) {
+  BpProgram program;
+  program.graph = &g;
+  program.max_rounds = rounds;
+  Engine<BpProgram> engine(g, device, options);
+  return engine.Run(program);
+}
+
+RunResult<uint32_t> RunWcc(const Graph& g, const DeviceSpec& device,
+                           const EngineOptions& options) {
+  WccProgram program;
+  program.graph = &g;
+  Engine<WccProgram> engine(g, device, options);
+  return engine.Run(program);
+}
+
+RunResult<SpmvValue> RunSpmv(const Graph& g, const std::vector<double>& x,
+                             const DeviceSpec& device, const EngineOptions& options) {
+  SpmvProgram program;
+  program.graph = &g;
+  program.input = &x;
+  Engine<SpmvProgram> engine(g, device, options);
+  return engine.Run(program);
+}
+
+const std::vector<std::string>& AlgorithmNames() {
+  static const std::vector<std::string> kNames = {"BFS", "PR", "SSSP", "k-Core",
+                                                  "BP"};
+  return kNames;
+}
+
+}  // namespace simdx

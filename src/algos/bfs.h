@@ -1,0 +1,60 @@
+// Breadth-First Search in ACC (paper Section 6).
+//
+// Vote-type combine: every update at level L is identically L+1, so pull
+// gathers stop at the first visited neighbor (collaborative early
+// termination). Direction switches to pull when the frontier's out-edges
+// exceed a fraction of |E| (direction-optimizing traversal, the push→pull→
+// push pattern the paper describes), which never triggers on high-diameter
+// road graphs — their thin frontiers stay push + online-filter all the way.
+#ifndef SIMDX_ALGOS_BFS_H_
+#define SIMDX_ALGOS_BFS_H_
+
+#include <vector>
+
+#include "core/acc.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct BfsProgram {
+  using Value = uint32_t;  // BFS level; kInfinity = unvisited
+
+  VertexId source = 0;
+  // Pull when frontier out-edges exceed edge_count / pull_divisor.
+  uint64_t pull_divisor = 20;
+
+  CombineKind combine_kind() const { return CombineKind::kVote; }
+  Value InitValue(VertexId v) const { return v == source ? 0 : kInfinity; }
+  std::vector<VertexId> InitialFrontier() const { return {source}; }
+
+  bool Active(const Value& curr, const Value& prev) const { return curr != prev; }
+
+  Value Compute(VertexId /*src*/, VertexId /*dst*/, Weight /*w*/,
+                const Value& src_value, Direction /*dir*/) const {
+    return src_value == kInfinity ? kInfinity : src_value + 1;
+  }
+  Value Combine(const Value& a, const Value& b) const { return a < b ? a : b; }
+  Value CombineIdentity() const { return kInfinity; }
+  Value Apply(VertexId /*v*/, const Value& combined, const Value& old,
+              Direction /*dir*/) const {
+    return combined < old ? combined : old;
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return before != after;
+  }
+
+  bool PullSkip(const Value& v_value) const { return v_value != kInfinity; }
+  bool PullContributes(const Value& u_value) const { return u_value != kInfinity; }
+
+  Direction ChooseDirection(const IterationInfo& info) const {
+    return info.frontier_out_edges > info.edge_count / pull_divisor
+               ? Direction::kPull
+               : Direction::kPush;
+  }
+  bool Converged(const IterationInfo&) const { return false; }
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_ALGOS_BFS_H_

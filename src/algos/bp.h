@@ -1,0 +1,81 @@
+// Belief Propagation in ACC (paper Section 6): sum-product message passing
+// over a Markov random field, linearized in the log domain — each vertex's
+// belief is its prior plus the damped, weight-scaled average of its
+// neighbors' beliefs from the previous round (pure Jacobi via the pull
+// path's prev-buffer reads). Every vertex is active in every round, so the
+// frontier is static after the first iteration ("BP and PageRank need the
+// ballot filter at exactly the first iteration", Section 4).
+#ifndef SIMDX_ALGOS_BP_H_
+#define SIMDX_ALGOS_BP_H_
+
+#include <cmath>
+#include <vector>
+
+#include "core/acc.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct BpProgram {
+  using Value = double;  // log-domain belief
+
+  const Graph* graph = nullptr;
+  uint32_t max_rounds = 30;
+  double damping = 0.5;
+  double max_weight = 64.0;  // generator's weight ceiling, for normalization
+
+  CombineKind combine_kind() const { return CombineKind::kAggregation; }
+
+  // Deterministic per-vertex prior in (0, 1): the event likelihoods of the
+  // Bayesian network the paper models.
+  double Prior(VertexId v) const {
+    return 0.1 + 0.8 * ((v * 2654435761u % 1000) / 1000.0);
+  }
+
+  Value InitValue(VertexId v) const { return Prior(v); }
+  std::vector<VertexId> InitialFrontier() const {
+    std::vector<VertexId> all(graph->vertex_count());
+    for (VertexId v = 0; v < graph->vertex_count(); ++v) {
+      all[v] = v;
+    }
+    return all;
+  }
+
+  bool Active(const Value&, const Value&) const { return true; }
+  bool StaticFrontierAfterFirst() const { return true; }
+
+  // Message along (u -> v): u's previous-round belief scaled by the edge
+  // likelihood and split over u's out-edges (keeps the linear system's
+  // spectral radius < 1, so the beliefs converge).
+  Value Compute(VertexId src, VertexId /*dst*/, Weight w, const Value& src_value,
+                Direction /*dir*/) const {
+    const uint32_t degree = graph->OutDegree(src);
+    if (degree == 0) {
+      return 0.0;
+    }
+    const double likelihood = static_cast<double>(w) / max_weight;
+    return damping * likelihood * src_value / degree;
+  }
+  Value Combine(const Value& a, const Value& b) const { return a + b; }
+  Value CombineIdentity() const { return 0.0; }
+  Value Apply(VertexId v, const Value& combined, const Value& /*old*/,
+              Direction /*dir*/) const {
+    return Prior(v) + combined;  // posterior = prior + aggregated messages
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return std::abs(after - before) > 1e-12;
+  }
+
+  bool PullSkip(const Value&) const { return false; }
+  bool PullContributes(const Value&) const { return true; }
+
+  Direction ChooseDirection(const IterationInfo&) const { return Direction::kPull; }
+  bool Converged(const IterationInfo& info) const {
+    return info.iteration >= max_rounds;
+  }
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_ALGOS_BP_H_

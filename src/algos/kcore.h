@@ -1,0 +1,105 @@
+// k-Core decomposition in ACC (paper Section 6): iteratively delete vertices
+// with degree < k until every survivor has >= k live neighbors. Heavy
+// workload at the first iterations (mass removals — the ballot filter
+// activates), then a trickle (online filter).
+//
+// The paper's k-Core-specific ACC optimization — "we will stop further
+// subtracting the degree of the destination vertex once [it] goes below k" —
+// is the freeze in Apply: once removed, a vertex's value never changes
+// again, so it is never re-activated and never re-sends removals.
+#ifndef SIMDX_ALGOS_KCORE_H_
+#define SIMDX_ALGOS_KCORE_H_
+
+#include <vector>
+
+#include "core/acc.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct KCoreValue {
+  uint32_t degree = 0;
+  bool removed = false;
+
+  friend bool operator==(const KCoreValue&, const KCoreValue&) = default;
+};
+
+struct KCoreProgram {
+  using Value = KCoreValue;
+
+  const Graph* graph = nullptr;
+  uint32_t k = 16;  // the paper's default
+  // Pull at the start (mass removals: recount is cheaper and atomic-free),
+  // push once the active set is small — "k-Core conducts pull at the
+  // beginning while push in the end" (Section 5).
+  uint64_t push_divisor = 50;
+
+  CombineKind combine_kind() const { return CombineKind::kAggregation; }
+
+  // Initially-underfull vertices start removed. They are seeded into the
+  // initial frontier directly (prev == curr, so the ballot filter will NOT
+  // re-add them after iteration 0 — a removed vertex must send its removal
+  // exactly once).
+  Value InitValue(VertexId v) const {
+    const uint32_t d = graph->OutDegree(v);
+    return Value{d, d < k};
+  }
+  std::vector<VertexId> InitialFrontier() const {
+    std::vector<VertexId> removed;
+    for (VertexId v = 0; v < graph->vertex_count(); ++v) {
+      if (graph->OutDegree(v) < k) {
+        removed.push_back(v);
+      }
+    }
+    return removed;
+  }
+
+  bool Active(const Value& curr, const Value& prev) const {
+    return curr.removed && !prev.removed;  // removed THIS round
+  }
+
+  // A removed source erases one unit of degree from each neighbor. In pull
+  // mode the gather counts ALL removed in-neighbors (absolute recount).
+  Value Compute(VertexId /*src*/, VertexId /*dst*/, Weight /*w*/,
+                const Value& src_value, Direction /*dir*/) const {
+    return Value{src_value.removed ? 1u : 0u, false};
+  }
+  Value Combine(const Value& a, const Value& b) const {
+    return Value{a.degree + b.degree, false};
+  }
+  Value CombineIdentity() const { return Value{0, false}; }
+
+  Value Apply(VertexId v, const Value& combined, const Value& old,
+              Direction dir) const {
+    if (old.removed || combined.degree == 0) {
+      return old;  // frozen: no further subtraction below k (paper Section 7.1)
+    }
+    uint32_t new_degree;
+    if (dir == Direction::kPull) {
+      // Absolute recount: initial degree minus every removed neighbor so far.
+      const uint32_t init = graph->OutDegree(v);
+      new_degree = combined.degree >= init ? 0 : init - combined.degree;
+    } else {
+      new_degree = combined.degree >= old.degree ? 0 : old.degree - combined.degree;
+    }
+    return Value{new_degree, new_degree < k};
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return !(before == after);
+  }
+
+  bool PullSkip(const Value& v_value) const { return v_value.removed; }
+  bool PullContributes(const Value& u_value) const { return u_value.removed; }
+
+  Direction ChooseDirection(const IterationInfo& info) const {
+    return info.frontier_size < info.vertex_count / push_divisor
+               ? Direction::kPush
+               : Direction::kPull;
+  }
+  bool Converged(const IterationInfo&) const { return false; }
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_ALGOS_KCORE_H_

@@ -1,0 +1,106 @@
+// PageRank in ACC, delta-based accumulative formulation (the paper starts
+// PageRank "with the pull model and agg_sum as the merge operation" and
+// switches "to the push model because the majority of the vertices are
+// stable", citing Maiter [72] — exactly the residual scheme below).
+//
+// Value = (rank, residual). A vertex is active while its residual exceeds
+// epsilon; pushing (or being pulled) hands d * residual / out_degree to each
+// out-neighbor, after which ConsumeActivity clears the handed-over amount.
+// The fixpoint is rank = (1-d)/N * sum_k (d M)^k — the exact PageRank
+// vector, which tests verify against a CPU power-iteration oracle.
+#ifndef SIMDX_ALGOS_PAGERANK_H_
+#define SIMDX_ALGOS_PAGERANK_H_
+
+#include <cmath>
+#include <vector>
+
+#include "core/acc.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct PageRankValue {
+  double rank = 0.0;
+  double residual = 0.0;
+
+  friend bool operator==(const PageRankValue&, const PageRankValue&) = default;
+};
+
+struct PageRankProgram {
+  using Value = PageRankValue;
+
+  const Graph* graph = nullptr;
+  double damping = 0.85;
+  double epsilon = 1e-9;
+  // Push once fewer than vertex_count / push_divisor vertices remain active
+  // ("at the end of PageRank we switch to the push model").
+  uint64_t push_divisor = 5;
+
+  CombineKind combine_kind() const { return CombineKind::kAggregation; }
+
+  Value InitValue(VertexId /*v*/) const {
+    const double base = (1.0 - damping) / graph->vertex_count();
+    return Value{base, base};
+  }
+  std::vector<VertexId> InitialFrontier() const {
+    std::vector<VertexId> all(graph->vertex_count());
+    for (VertexId v = 0; v < graph->vertex_count(); ++v) {
+      all[v] = v;
+    }
+    return all;
+  }
+
+  // Activity is the residual itself; prev is irrelevant.
+  bool Active(const Value& curr, const Value& /*prev*/) const {
+    return curr.residual > epsilon;
+  }
+
+  Value Compute(VertexId src, VertexId /*dst*/, Weight /*w*/,
+                const Value& src_value, Direction /*dir*/) const {
+    const uint32_t degree = graph->OutDegree(src);
+    if (degree == 0) {
+      return Value{0.0, 0.0};
+    }
+    const double share = damping * src_value.residual / degree;
+    return Value{0.0, share};
+  }
+  Value Combine(const Value& a, const Value& b) const {
+    return Value{0.0, a.residual + b.residual};
+  }
+  Value CombineIdentity() const { return Value{0.0, 0.0}; }
+  Value Apply(VertexId /*v*/, const Value& combined, const Value& old,
+              Direction /*dir*/) const {
+    return Value{old.rank + combined.residual, old.residual + combined.residual};
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return std::abs(after.residual - before.residual) > 1e-15 ||
+           std::abs(after.rank - before.rank) > 1e-15;
+  }
+
+  // After a push, the whole current residual has been distributed; after a
+  // pull iteration, out-neighbors read the residual as of the last commit
+  // (prev), so exactly that amount is consumed.
+  Value ConsumeActivity(const Value& curr, const Value& prev, Direction dir) const {
+    if (dir == Direction::kPush) {
+      return Value{curr.rank, 0.0};
+    }
+    return Value{curr.rank, curr.residual - prev.residual};
+  }
+
+  bool PullSkip(const Value&) const { return false; }
+  bool PullContributes(const Value& u_value) const {
+    return u_value.residual > epsilon;
+  }
+
+  Direction ChooseDirection(const IterationInfo& info) const {
+    return info.frontier_size < info.vertex_count / push_divisor
+               ? Direction::kPush
+               : Direction::kPull;
+  }
+  bool Converged(const IterationInfo&) const { return false; }
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_ALGOS_PAGERANK_H_

@@ -1,0 +1,139 @@
+#include "algos/scc.h"
+
+#include <utility>
+
+namespace simdx {
+namespace {
+
+// Phase 2: multi-source backward closure. Runs on the REVERSED graph so the
+// engine's push (out-edge scatter) walks predecessors; restricted to
+// same-color, unassigned vertices. Vote combine: every update is "reached".
+struct BackwardClosureProgram {
+  using Value = uint32_t;  // 1 = reaches its color root, 0 = not (yet)
+
+  const std::vector<uint32_t>* colors = nullptr;
+  const std::vector<uint32_t>* assigned = nullptr;
+
+  CombineKind combine_kind() const { return CombineKind::kVote; }
+  Value InitValue(VertexId v) const {
+    const bool is_root =
+        (*assigned)[v] == kInfinity && (*colors)[v] == v;
+    return is_root ? 1u : 0u;
+  }
+  std::vector<VertexId> InitialFrontier() const {
+    std::vector<VertexId> roots;
+    for (VertexId v = 0; v < colors->size(); ++v) {
+      if ((*assigned)[v] == kInfinity && (*colors)[v] == v) {
+        roots.push_back(v);
+      }
+    }
+    return roots;
+  }
+  bool Active(const Value& curr, const Value& prev) const { return curr != prev; }
+  Value Compute(VertexId src, VertexId dst, Weight /*w*/, const Value& src_value,
+                Direction /*dir*/) const {
+    if (src_value == 0 || (*colors)[src] != (*colors)[dst] ||
+        (*assigned)[dst] != kInfinity) {
+      return 0;
+    }
+    return 1;
+  }
+  Value Combine(const Value& a, const Value& b) const { return a > b ? a : b; }
+  Value CombineIdentity() const { return 0; }
+  Value Apply(VertexId /*v*/, const Value& combined, const Value& old,
+              Direction /*dir*/) const {
+    return combined > old ? combined : old;
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return before != after;
+  }
+  bool PullSkip(const Value& v_value) const { return v_value == 1; }
+  bool PullContributes(const Value& u_value) const { return u_value == 1; }
+  // Push only: the color mask lives in Compute, and a vote-mode pull would
+  // early-exit before Compute can reject a cross-color contributor.
+  Direction ChooseDirection(const IterationInfo&) const { return Direction::kPush; }
+  bool Converged(const IterationInfo&) const { return false; }
+};
+
+static_assert(AccProgram<ColorPropagateProgram>);
+static_assert(AccProgram<BackwardClosureProgram>);
+
+Graph ReverseGraph(const Graph& g) {
+  EdgeList reversed;
+  reversed.Reserve(g.edge_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto nbrs = g.out().Neighbors(v);
+    const auto wts = g.out().NeighborWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      reversed.Add(nbrs[i], v, wts[i]);
+    }
+  }
+  return Graph::FromEdges(std::move(reversed), /*directed=*/true,
+                          g.vertex_count(), g.name() + "-rev");
+}
+
+void Accumulate(RunStats* total, const RunStats& part) {
+  if (total == nullptr) {
+    return;
+  }
+  total->iterations += part.iterations;
+  total->counters += part.counters;
+  total->time.cycles += part.time.cycles;
+  total->time.ms += part.time.ms;
+  total->serial_ms += part.serial_ms;
+  total->total_active += part.total_active;
+  total->total_edges_processed += part.total_edges_processed;
+  total->filter_pattern += part.filter_pattern;
+  total->direction_pattern += part.direction_pattern;
+}
+
+}  // namespace
+
+std::vector<uint32_t> RunScc(const Graph& g, const DeviceSpec& device,
+                             const EngineOptions& options, RunStats* total_stats) {
+  const VertexId n = g.vertex_count();
+  std::vector<uint32_t> assigned(n, kInfinity);
+  if (n == 0) {
+    return assigned;
+  }
+  const Graph reversed = ReverseGraph(g);
+  std::vector<uint32_t> colors(n);
+  EngineOptions closure_options = options;
+  closure_options.keep_iteration_log = false;
+
+  // Each round retires every color root and its SCC, so |V| rounds is a hard
+  // bound; real graphs finish in a handful.
+  for (VertexId round = 0; round < n; ++round) {
+    bool any_unassigned = false;
+    for (VertexId v = 0; v < n; ++v) {
+      any_unassigned = any_unassigned || assigned[v] == kInfinity;
+    }
+    if (!any_unassigned) {
+      break;
+    }
+
+    ColorPropagateProgram propagate;
+    propagate.assigned = &assigned;
+    Engine<ColorPropagateProgram> forward(g, device, options);
+    const auto colored = forward.Run(propagate);
+    Accumulate(total_stats, colored.stats);
+    for (VertexId v = 0; v < n; ++v) {
+      colors[v] = colored.values[v].color;
+    }
+
+    BackwardClosureProgram closure;
+    closure.colors = &colors;
+    closure.assigned = &assigned;
+    Engine<BackwardClosureProgram> backward(reversed, device, closure_options);
+    const auto reached = backward.Run(closure);
+    Accumulate(total_stats, reached.stats);
+    for (VertexId v = 0; v < n; ++v) {
+      if (assigned[v] == kInfinity && reached.values[v] == 1) {
+        assigned[v] = colors[v];
+      }
+    }
+  }
+  return assigned;
+}
+
+}  // namespace simdx

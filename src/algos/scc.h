@@ -1,0 +1,101 @@
+// Strongly Connected Components — the paper's Section 3.2 places SCC (via
+// the BFS-and-coloring method of Slota et al. [54]) in the voting-combine
+// family. This is the coloring algorithm built as a driver over two ACC
+// programs:
+//
+//   repeat until every vertex is assigned:
+//     1. FORWARD max-color propagation among unassigned vertices
+//        (ColorPropagateProgram: combine = max, push/pull on out-edges);
+//     2. for every color root r (color[r] == r), BACKWARD closure along
+//        in-edges restricted to vertices of the same color
+//        (BackwardClosureProgram: vote combine); everything reached is the
+//        SCC of r and retires from further rounds.
+//
+// Each round retires at least every color root, so the driver terminates in
+// at most |V| rounds (in practice a handful).
+#ifndef SIMDX_ALGOS_SCC_H_
+#define SIMDX_ALGOS_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/acc.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct SccValue {
+  uint32_t color = 0;      // current propagation color (max vertex id wins)
+  uint32_t scc = kInfinity;  // assigned component id; kInfinity = unassigned
+
+  friend bool operator==(const SccValue&, const SccValue&) = default;
+};
+
+// Phase 1: spread the maximum color forward through the unassigned subgraph.
+struct ColorPropagateProgram {
+  using Value = SccValue;
+
+  // Assignments from earlier rounds; color resets each round.
+  const std::vector<uint32_t>* assigned = nullptr;  // size V, kInfinity = free
+  uint64_t pull_divisor = 10;
+
+  CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  Value InitValue(VertexId v) const {
+    return SccValue{v, (*assigned)[v]};
+  }
+  std::vector<VertexId> InitialFrontier() const {
+    std::vector<VertexId> frontier;
+    for (VertexId v = 0; v < assigned->size(); ++v) {
+      if ((*assigned)[v] == kInfinity) {
+        frontier.push_back(v);
+      }
+    }
+    return frontier;
+  }
+
+  bool Active(const Value& curr, const Value& prev) const {
+    return curr.scc == kInfinity && curr.color != prev.color;
+  }
+  Value Compute(VertexId /*src*/, VertexId /*dst*/, Weight /*w*/,
+                const Value& src_value, Direction /*dir*/) const {
+    // Assigned sources do not propagate.
+    return src_value.scc != kInfinity ? SccValue{0, kInfinity} : src_value;
+  }
+  Value Combine(const Value& a, const Value& b) const {
+    return a.color >= b.color ? a : b;
+  }
+  Value CombineIdentity() const { return SccValue{0, kInfinity}; }
+  Value Apply(VertexId /*v*/, const Value& combined, const Value& old,
+              Direction /*dir*/) const {
+    if (old.scc != kInfinity || combined.color <= old.color) {
+      return old;
+    }
+    return SccValue{combined.color, old.scc};
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return !(before == after);
+  }
+  bool PullSkip(const Value& v_value) const { return v_value.scc != kInfinity; }
+  bool PullContributes(const Value& u_value) const {
+    return u_value.scc == kInfinity;
+  }
+  Direction ChooseDirection(const IterationInfo& info) const {
+    return info.frontier_out_edges > info.edge_count / pull_divisor
+               ? Direction::kPull
+               : Direction::kPush;
+  }
+  bool Converged(const IterationInfo&) const { return false; }
+};
+
+// Computes SCC ids for every vertex of a DIRECTED graph (undirected graphs
+// degenerate to WCC). The returned id of a component is its color root's
+// vertex id. Statistics of the final (not per-round) run are accumulated
+// into `total_stats` when non-null.
+std::vector<uint32_t> RunScc(const Graph& g, const DeviceSpec& device,
+                             const EngineOptions& options,
+                             RunStats* total_stats = nullptr);
+
+}  // namespace simdx
+
+#endif  // SIMDX_ALGOS_SCC_H_

@@ -1,0 +1,67 @@
+// Sparse matrix–vector multiplication in ACC (paper Figure 3 lists SpMV
+// among the supported algorithms): y = A x where A is the weighted
+// adjacency matrix. A single pull iteration: every row gathers
+// w(u, v) * x[u] over its in-edges with a sum combine.
+#ifndef SIMDX_ALGOS_SPMV_H_
+#define SIMDX_ALGOS_SPMV_H_
+
+#include <cmath>
+#include <vector>
+
+#include "core/acc.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct SpmvValue {
+  double x = 0.0;  // input vector component
+  double y = 0.0;  // output row result
+
+  friend bool operator==(const SpmvValue&, const SpmvValue&) = default;
+};
+
+struct SpmvProgram {
+  using Value = SpmvValue;
+
+  const Graph* graph = nullptr;
+  const std::vector<double>* input = nullptr;  // x; size = vertex_count
+
+  CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  Value InitValue(VertexId v) const { return Value{(*input)[v], 0.0}; }
+  std::vector<VertexId> InitialFrontier() const {
+    std::vector<VertexId> all(graph->vertex_count());
+    for (VertexId v = 0; v < graph->vertex_count(); ++v) {
+      all[v] = v;
+    }
+    return all;
+  }
+
+  bool Active(const Value&, const Value&) const { return true; }
+
+  Value Compute(VertexId /*src*/, VertexId /*dst*/, Weight w,
+                const Value& src_value, Direction /*dir*/) const {
+    return Value{0.0, static_cast<double>(w) * src_value.x};
+  }
+  Value Combine(const Value& a, const Value& b) const {
+    return Value{0.0, a.y + b.y};
+  }
+  Value CombineIdentity() const { return Value{0.0, 0.0}; }
+  Value Apply(VertexId /*v*/, const Value& combined, const Value& old,
+              Direction /*dir*/) const {
+    return Value{old.x, combined.y};
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return std::abs(after.y - before.y) > 0.0;
+  }
+
+  bool PullSkip(const Value&) const { return false; }
+  bool PullContributes(const Value&) const { return true; }
+
+  Direction ChooseDirection(const IterationInfo&) const { return Direction::kPull; }
+  bool Converged(const IterationInfo& info) const { return info.iteration >= 1; }
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_ALGOS_SPMV_H_

@@ -1,0 +1,65 @@
+// Weakly Connected Components in ACC: minimum-label propagation. Every
+// vertex starts as its own component; labels flow until each component
+// agrees on its smallest member id.
+//
+// The paper lists connected components under the voting combine; that holds
+// for its hook-based variant where all updates carry the same root. The
+// label-propagation formulation below merges DISTINCT labels, so it is an
+// aggregation (min) — pull gathers must scan every neighbor.
+#ifndef SIMDX_ALGOS_WCC_H_
+#define SIMDX_ALGOS_WCC_H_
+
+#include <vector>
+
+#include "core/acc.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct WccProgram {
+  using Value = uint32_t;  // component label = smallest reachable vertex id
+
+  const Graph* graph = nullptr;
+  uint64_t pull_divisor = 8;
+
+  CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  Value InitValue(VertexId v) const { return v; }
+  std::vector<VertexId> InitialFrontier() const {
+    std::vector<VertexId> all(graph->vertex_count());
+    for (VertexId v = 0; v < graph->vertex_count(); ++v) {
+      all[v] = v;
+    }
+    return all;
+  }
+
+  bool Active(const Value& curr, const Value& prev) const { return curr != prev; }
+
+  Value Compute(VertexId /*src*/, VertexId /*dst*/, Weight /*w*/,
+                const Value& src_value, Direction /*dir*/) const {
+    return src_value;
+  }
+  Value Combine(const Value& a, const Value& b) const { return a < b ? a : b; }
+  Value CombineIdentity() const { return kInfinity; }
+  Value Apply(VertexId /*v*/, const Value& combined, const Value& old,
+              Direction /*dir*/) const {
+    return combined < old ? combined : old;
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return before != after;
+  }
+
+  bool PullSkip(const Value&) const { return false; }
+  bool PullContributes(const Value&) const { return true; }
+
+  Direction ChooseDirection(const IterationInfo& info) const {
+    return info.frontier_out_edges > info.edge_count / pull_divisor
+               ? Direction::kPull
+               : Direction::kPush;
+  }
+  bool Converged(const IterationInfo&) const { return false; }
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_ALGOS_WCC_H_

@@ -1,0 +1,54 @@
+// Serial CPU reference implementations — the correctness oracles every
+// engine (SIMD-X and baselines alike) is tested against, written with
+// textbook algorithms that share no code with the engines.
+#ifndef SIMDX_BASELINES_CPU_REFERENCE_H_
+#define SIMDX_BASELINES_CPU_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace simdx {
+
+// Queue-based BFS levels from `source`; kInfinity for unreachable vertices.
+std::vector<uint32_t> CpuBfsLevels(const Graph& g, VertexId source);
+
+// Dijkstra with a binary heap; kInfinity for unreachable vertices.
+std::vector<uint32_t> CpuDijkstra(const Graph& g, VertexId source);
+
+// Delta-stepping [Meyer & Sanders] — the algorithm the paper's SSSP cites;
+// also the Galois-style comparator. Must agree with Dijkstra exactly.
+std::vector<uint32_t> CpuDeltaStepping(const Graph& g, VertexId source,
+                                       uint32_t delta = 16);
+
+// Power iteration on rank = (1-d)/N + d * sum(rank_u / outdeg_u), iterated
+// until the L1 delta falls below `tolerance`. No dangling-mass
+// redistribution (the convention the ACC program uses as well).
+std::vector<double> CpuPageRank(const Graph& g, double damping = 0.85,
+                                double tolerance = 1e-12,
+                                uint32_t max_iters = 1000);
+
+// Peeling k-core: true = vertex removed (not part of the k-core).
+std::vector<bool> CpuKCoreRemoved(const Graph& g, uint32_t k);
+
+// Smallest-reachable-id component labels (treating edges as undirected).
+std::vector<uint32_t> CpuWccLabels(const Graph& g);
+
+// Strongly connected components via iterative Tarjan. Labels are normalized
+// so that every component's id is its LARGEST member (matching the coloring
+// algorithm's root convention in algos/scc.h).
+std::vector<uint32_t> CpuSccLabels(const Graph& g);
+
+// One Jacobi round of the linearized BP update, `rounds` times, matching
+// BpProgram's Compute/Apply exactly but with plain loops.
+std::vector<double> CpuBp(const Graph& g, uint32_t rounds, double damping = 0.5,
+                          double max_weight = 64.0);
+
+// y = A x over the weighted out-adjacency (so it matches a pull over
+// in-edges of the transpose — i.e. SpmvProgram on the same Graph).
+std::vector<double> CpuSpmv(const Graph& g, const std::vector<double>& x);
+
+}  // namespace simdx
+
+#endif  // SIMDX_BASELINES_CPU_REFERENCE_H_

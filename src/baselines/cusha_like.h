@@ -1,0 +1,175 @@
+// CuSha-like baseline: vertex-centric G-Shards processing. Every iteration
+// sweeps the ENTIRE edge set through shard-local gathers — perfectly
+// coalesced (CuSha's strength) but with no task filtering whatsoever
+// (its weakness: Table 4's 480x SSSP blowup on the high-diameter ER graph
+// follows from iterations x |E| work), and the shard format stores edges
+// twice (the OOM rows for FB and TW).
+//
+// Functionally this is a full-graph BSP gather per iteration using the same
+// ACC program, so results stay exact and comparable.
+#ifndef SIMDX_BASELINES_CUSHA_LIKE_H_
+#define SIMDX_BASELINES_CUSHA_LIKE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/acc.h"
+#include "core/engine.h"  // EffectiveOccupancy
+#include "core/metadata.h"
+#include "core/result.h"
+#include "graph/graph.h"
+#include "simt/cost_model.h"
+#include "simt/device.h"
+#include "simt/occupancy.h"
+
+namespace simdx {
+
+struct CushaLikeOptions {
+  uint32_t max_iterations = 100000;
+  // Shard-resident gather kernels: modest register pressure, two kernels per
+  // iteration (gather + apply), no cross-iteration fusion. Shard count
+  // follows the graph, so the grid does scale with newer devices (CuSha's
+  // P100 gains in Section 7.3 track raw bandwidth).
+  uint32_t registers_per_thread = 32;
+  uint32_t threads_per_cta = 128;
+  uint32_t fixed_sm_budget = 0;
+  size_t memory_budget_bytes = 0;
+};
+
+template <AccProgram Program>
+class CushaLikeEngine {
+ public:
+  using Value = typename Program::Value;
+
+  CushaLikeEngine(const Graph& graph, DeviceSpec device, CushaLikeOptions options)
+      : graph_(graph), device_(std::move(device)), options_(options) {
+    if (options_.fixed_sm_budget > 0) {
+      device_.sm_count = std::min(device_.sm_count, options_.fixed_sm_budget);
+    }
+  }
+
+  RunResult<Value> Run(const Program& program) {
+    RunResult<Value> result;
+    // Shards keep (src, dst, weight) plus a mirrored copy ordered for the
+    // apply phase: ~2x the edge-list bytes, vs. the CSR the other engines
+    // hold. "CuSha requires edge list as the input ... cannot accommodate
+    // large graphs" (Section 7.1).
+    result.stats.device_bytes_needed =
+        graph_.EdgeListFootprintBytes() * 2 +
+        2 * static_cast<size_t>(graph_.vertex_count()) * sizeof(Value);
+    const size_t budget = options_.memory_budget_bytes != 0
+                              ? options_.memory_budget_bytes
+                              : device_.global_memory_bytes;
+    if (result.stats.device_bytes_needed > budget) {
+      result.stats.oom = true;
+      return result;
+    }
+
+    const auto n = static_cast<VertexId>(graph_.vertex_count());
+    VertexMeta<Value> meta(n, [&](VertexId v) { return program.InitValue(v); });
+    const KernelResources res{options_.registers_per_thread,
+                              options_.threads_per_cta};
+    const double occupancy = EffectiveOccupancy(OccupancyFraction(device_, res));
+    const Csr& in = graph_.in();
+
+    uint32_t iter = 0;
+    for (; iter < options_.max_iterations; ++iter) {
+      IterationInfo info;
+      info.iteration = iter;
+      info.frontier_size = n;  // no filtering: everything is "active"
+      info.frontier_out_edges = graph_.edge_count();
+      info.vertex_count = n;
+      info.edge_count = graph_.edge_count();
+      if (program.Converged(info)) {
+        break;
+      }
+
+      CostCounters it_cost;
+      bool changed = false;
+      for (VertexId v = 0; v < n; ++v) {
+        const auto nbrs = in.Neighbors(v);
+        const auto wts = in.NeighborWeights(v);
+        // Shard-local gather: edge records stream coalesced; staging the
+        // source values into the shard costs a fraction of scattered traffic
+        // (window vertices outside the shard).
+        it_cost.coalesced_words += 5ull * nbrs.size() / 2 + 2;
+        it_cost.scattered_words += nbrs.size() / 2;
+        it_cost.alu_ops += nbrs.size();
+        Value combined = program.CombineIdentity();
+        bool any = false;
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          if (!program.PullContributes(meta.prev(nbrs[i]))) {
+            continue;
+          }
+          const Value cand = program.Compute(nbrs[i], v, wts[i],
+                                             meta.prev(nbrs[i]), Direction::kPull);
+          combined = any ? program.Combine(combined, cand) : cand;
+          any = true;
+          it_cost.alu_ops += 2;
+        }
+        if (!any) {
+          continue;
+        }
+        const Value applied =
+            program.Apply(v, combined, meta.curr(v), Direction::kPull);
+        if (program.ValueChanged(meta.curr(v), applied)) {
+          meta.curr(v) = applied;
+          it_cost.coalesced_words += 1;
+          changed = true;
+        }
+      }
+      // Consume pending activity of every vertex (full sweep reads all).
+      if constexpr (requires(const Program& p, const Value& val) {
+                      {
+                        p.ConsumeActivity(val, val, Direction::kPull)
+                      } -> std::same_as<Value>;
+                    }) {
+        for (VertexId v = 0; v < n; ++v) {
+          meta.curr(v) = program.ConsumeActivity(meta.curr(v), meta.prev(v),
+                                                 Direction::kPull);
+        }
+      }
+      meta.SyncPrev();
+
+      it_cost.kernel_launches += 2;  // gather + apply, every iteration
+      const SimTime t = EstimateTime(it_cost, device_, occupancy);
+      result.stats.counters += it_cost;
+      result.stats.time.cycles += t.cycles;
+      result.stats.time.ms += t.ms;
+      result.stats.serial_ms += 2.0 * device_.kernel_launch_cycles /
+                                (device_.clock_ghz * 1e6);
+      result.stats.total_active += n;
+      result.stats.total_edges_processed += graph_.edge_count();
+      result.stats.direction_pattern += 'P';
+      result.stats.filter_pattern += '-';
+
+      if (!changed) {
+        ++iter;
+        break;
+      }
+    }
+
+    result.stats.iterations = iter;
+    result.stats.converged = iter < options_.max_iterations;
+    result.values = meta.values();
+    return result;
+  }
+
+ private:
+  const Graph& graph_;
+  DeviceSpec device_;
+  CushaLikeOptions options_;
+};
+
+template <AccProgram Program>
+RunResult<typename Program::Value> RunCushaLike(const Graph& g,
+                                                const Program& program,
+                                                const DeviceSpec& device,
+                                                CushaLikeOptions options = {}) {
+  CushaLikeEngine<Program> engine(g, device, options);
+  return engine.Run(program);
+}
+
+}  // namespace simdx
+
+#endif  // SIMDX_BASELINES_CUSHA_LIKE_H_

@@ -1,0 +1,43 @@
+// Gunrock-like baseline: the Advance–Filter–Compute strategy of Table 1,
+// realized as a configuration of the shared engine —
+//   * batch filter (explicit active-edge-list expansion, 2|E| worst-case
+//     footprint: the OOM rows of Table 4),
+//   * atomic vertex updates with same-destination contention (no
+//     compute-then-combine),
+//   * no vote-type early termination,
+//   * push-based advance only,
+//   * no degree classification of the worklist (reactive load balancing at
+//     warp granularity is charged as SIMD divergence),
+//   * per-iteration multi-kernel execution (no cross-barrier fusion) with a
+//     launch geometry that is NOT retuned per device (Section 7.3).
+#ifndef SIMDX_BASELINES_GUNROCK_LIKE_H_
+#define SIMDX_BASELINES_GUNROCK_LIKE_H_
+
+#include "core/engine.h"
+#include "core/options.h"
+
+namespace simdx {
+
+inline EngineOptions GunrockLikeOptions() {
+  EngineOptions o;
+  o.filter = FilterPolicy::kBatch;
+  o.fusion = FusionPolicy::kNoFusion;
+  o.use_atomic_updates = true;
+  o.enable_vote_early_exit = false;
+  o.force_push = true;
+  o.classify_worklists = false;
+  o.fixed_sm_budget = 13;  // tuned-for-Kepler geometry, kept on newer GPUs
+  return o;
+}
+
+template <AccProgram Program>
+RunResult<typename Program::Value> RunGunrockLike(const Graph& g,
+                                                  const Program& program,
+                                                  const DeviceSpec& device) {
+  Engine<Program> engine(g, device, GunrockLikeOptions());
+  return engine.Run(program);
+}
+
+}  // namespace simdx
+
+#endif  // SIMDX_BASELINES_GUNROCK_LIKE_H_

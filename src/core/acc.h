@@ -1,0 +1,84 @@
+// The Active–Compute–Combine (ACC) programming model (paper Section 3).
+//
+// A graph algorithm supplies:
+//   Active(curr, prev)        — did this vertex acquire unconsumed work?
+//   Compute(src, dst, w, val) — the update one edge produces
+//   Combine(a, b)             — commutative + associative merge of updates
+//   Apply(v, combined, old)   — fold the merged update into vertex state
+// plus small policy hooks (direction choice, convergence, pull filtering).
+// Everything else — task filtering, degree-classified scheduling, kernel
+// fusion — is the framework's job, which is the paper's thesis.
+//
+// Execution contract (matches the BSP ping-pong buffers of the GPU design):
+//  * PUSH iterations scatter along out-edges reading the CURRENT source
+//    value (in-place, Gauss–Seidel flavored — exact for monotone combines
+//    and for residual-carrying programs).
+//  * PULL iterations gather along in-edges reading the PREVIOUS-iteration
+//    value of every contributor (pure BSP — what the double-buffered
+//    metadata arrays give the real kernels).
+//  * Active(curr, prev) is evaluated against the value snapshot taken at the
+//    last frontier commit; it must mean "this vertex has updates its
+//    neighbors have not consumed yet".
+#ifndef SIMDX_CORE_ACC_H_
+#define SIMDX_CORE_ACC_H_
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace simdx {
+
+enum class Direction : uint8_t { kPush, kPull };
+
+// Section 3.2: "aggregation cannot tolerate overwrites ... voting relaxes
+// this condition, that is, the algorithm is correct as long as one update is
+// received because all updates are identical." Vote lets pull-mode gathers
+// terminate early at the first contributing neighbor (BFS).
+enum class CombineKind : uint8_t { kVote, kAggregation };
+
+// Per-iteration facts handed to the program's policy hooks.
+struct IterationInfo {
+  uint32_t iteration = 0;
+  uint64_t frontier_size = 0;
+  uint64_t frontier_out_edges = 0;
+  uint64_t vertex_count = 0;
+  uint64_t edge_count = 0;
+  Direction previous_direction = Direction::kPush;
+};
+
+// Compile-time contract every algorithm in src/algos satisfies. Engines are
+// templated on the program so Compute/Combine inline into the edge loops,
+// mirroring how nvcc specializes the paper's device lambdas.
+//
+// Optional hooks an engine detects with `requires`:
+//   Value InitPrev(VertexId)                   — seed prev != curr at start
+//   Value ConsumeActivity(curr, prev, dir)     — hand pending activity
+//                                                (e.g. residuals) to the
+//                                                neighbors and clear it
+//   bool StaticFrontierAfterFirst()            — frontier provably constant
+template <typename P>
+concept AccProgram = requires(const P p, typename P::Value v, VertexId id,
+                              Weight w, IterationInfo info, Direction dir) {
+  typename P::Value;
+  { p.combine_kind() } -> std::same_as<CombineKind>;
+  { p.InitValue(id) } -> std::same_as<typename P::Value>;
+  { p.InitialFrontier() } -> std::same_as<std::vector<VertexId>>;
+  { p.Active(v, v) } -> std::same_as<bool>;
+  { p.Compute(id, id, w, v, dir) } -> std::same_as<typename P::Value>;
+  { p.Combine(v, v) } -> std::same_as<typename P::Value>;
+  { p.CombineIdentity() } -> std::same_as<typename P::Value>;
+  { p.Apply(id, v, v, dir) } -> std::same_as<typename P::Value>;
+  { p.ValueChanged(v, v) } -> std::same_as<bool>;
+  // Pull-mode filters, both evaluated on previous-iteration values:
+  // skip this vertex entirely / does this neighbor contribute?
+  { p.PullSkip(v) } -> std::same_as<bool>;
+  { p.PullContributes(v) } -> std::same_as<bool>;
+  { p.ChooseDirection(info) } -> std::same_as<Direction>;
+  { p.Converged(info) } -> std::same_as<bool>;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_ACC_H_

@@ -1,0 +1,531 @@
+// The SIMD-X execution engine: runs an ACC program over a graph on the
+// simulated device, combining the paper's three systems —
+//   * degree-classified Thread/Warp/CTA scheduling (Section 4, step II),
+//   * JIT task management with online + ballot filters (Section 4, step I),
+//   * push-pull selective kernel fusion with Eq.-1 grid sizing (Section 5).
+//
+// Execution is functionally exact (the returned metadata is the algorithm's
+// true fixpoint, verified against CPU oracles in tests); the GPU is present
+// as an event-cost model — every simulated memory transaction, atomic,
+// kernel launch and barrier crossing is charged to CostCounters and
+// converted to simulated time per-iteration at that iteration's occupancy.
+//
+// Buffering model (see acc.h): push reads curr, pull reads prev; prev is
+// synchronized to curr at every frontier commit, so Active(curr, prev)
+// during an iteration means exactly "changed since the last commit" — the
+// predicate the ballot filter scans.
+#ifndef SIMDX_CORE_ENGINE_H_
+#define SIMDX_CORE_ENGINE_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/acc.h"
+#include "core/fusion.h"
+#include "core/jit.h"
+#include "core/metadata.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "core/worklist.h"
+#include "graph/graph.h"
+#include "simt/barrier.h"
+#include "simt/cost_model.h"
+#include "simt/device.h"
+
+namespace simdx {
+
+// Occupancy above this fraction no longer buys throughput for the
+// memory-bound graph kernels (bandwidth saturates); below it, throughput
+// degrades linearly. This is what makes all-fusion's 110-register kernels
+// slower despite fewer launches (Figure 13).
+inline constexpr double kOccupancySaturation = 0.4;
+
+inline double EffectiveOccupancy(double occupancy) {
+  return std::clamp(occupancy / kOccupancySaturation, 0.05, 1.0);
+}
+
+template <AccProgram Program>
+class Engine {
+ public:
+  using Value = typename Program::Value;
+
+  Engine(const Graph& graph, DeviceSpec device, EngineOptions options)
+      : graph_(graph), device_(std::move(device)), options_(options) {
+    if (options_.fixed_sm_budget > 0 && options_.fixed_sm_budget < device_.sm_count) {
+      // A launch geometry tuned for an older part drives only a fraction of
+      // a newer device's memory system — the Section 7.3 reason Gunrock
+      // barely gains from K40/P100.
+      const double fraction = static_cast<double>(options_.fixed_sm_budget) /
+                              device_.sm_count;
+      device_.mem_bandwidth_scale =
+          1.0 + (device_.mem_bandwidth_scale - 1.0) * fraction;
+      device_.sm_count = options_.fixed_sm_budget;
+    }
+  }
+
+  RunResult<Value> Run(const Program& program) {
+    RunResult<Value> result;
+    result.stats.device_bytes_needed = DeviceBytesNeeded(program.combine_kind());
+    const size_t budget = options_.memory_budget_bytes != 0
+                              ? options_.memory_budget_bytes
+                              : device_.global_memory_bytes;
+    if (result.stats.device_bytes_needed > budget) {
+      result.stats.oom = true;
+      return result;
+    }
+
+    const auto n = static_cast<VertexId>(graph_.vertex_count());
+    VertexMeta<Value> meta = MakeMetadata(program);
+    std::vector<VertexId> frontier = program.InitialFrontier();
+    JitController jit(options_.filter, options_.sim_worker_threads,
+                      options_.overflow_threshold);
+    FusionAccountant fusion(options_.fusion, options_.threads_per_cta);
+    // The fused kernels synchronize iterations with the software global
+    // barrier; the grid must be sized by Eq. 1 or the barrier deadlocks.
+    GlobalBarrier barrier(DeadlockFreeGridSize(
+        device_, ResourcesFor(options_.fusion, Direction::kPush,
+                              options_.threads_per_cta)));
+    recorded_stamp_.assign(n, 0);
+    if (options_.use_atomic_updates) {
+      touch_stamp_.assign(n, 0);
+    }
+
+    Direction prev_dir = Direction::kPush;
+    bool frontier_sorted = true;  // the initial frontier comes in id order
+    const bool static_frontier = StaticFrontierAfterFirst(program);
+
+    // Producer of the CURRENT iteration's frontier (Figure 8 logs the filter
+    // per executed iteration). Any seed set beyond a handful of sources can
+    // only have come from an init kernel scanning the metadata — k-Core's
+    // all-underfull-vertices seed, PageRank's and BP's all-vertices seed —
+    // so it is attributed (and charged) as a ballot pass on the first
+    // iteration. This is why Figure 8 shows k-Core/PR/BP activating the
+    // ballot filter at the initial iteration(s).
+    char pending_filter = 'O';
+    bool charge_init_scan = false;
+    if (frontier.size() > options_.overflow_threshold) {
+      pending_filter = 'B';
+      charge_init_scan = true;
+    }
+
+    uint64_t refill_words = 0;
+    uint32_t iter = 0;
+    for (; iter < options_.max_iterations; ++iter) {
+      if (frontier.empty()) {
+        // Programs with deferred work (delta-stepping SSSP) may refill the
+        // frontier from their pending buckets; everything else terminates.
+        frontier = Refill(program);
+        if (frontier.empty()) {
+          break;
+        }
+        frontier_sorted = false;
+        refill_words = 2ull * frontier.size();
+      }
+      IterationInfo info;
+      info.iteration = iter;
+      info.frontier_size = frontier.size();
+      info.frontier_out_edges = FrontierOutEdges(frontier);
+      info.vertex_count = graph_.vertex_count();
+      info.edge_count = graph_.edge_count();
+      info.previous_direction = prev_dir;
+      if (program.Converged(info)) {
+        break;
+      }
+      const Direction dir =
+          options_.force_push ? Direction::kPush : program.ChooseDirection(info);
+      stamp_ = iter + 1;
+
+      CostCounters it_cost;
+      it_cost.coalesced_words += refill_words;
+      refill_words = 0;
+      if (charge_init_scan) {
+        it_cost.coalesced_words += 2ull * n + frontier.size();
+        it_cost.alu_ops += n;
+        charge_init_scan = false;
+      }
+      uint64_t edges_processed = 0;
+      if (dir == Direction::kPush) {
+        WorkLists lists;
+        if (options_.classify_worklists) {
+          lists = ClassifyFrontier(frontier, graph_, options_.small_degree_limit,
+                                   options_.medium_degree_limit);
+        } else {
+          // Thread-per-vertex scheduling: a warp stalls until its slowest
+          // lane (largest adjacency) finishes — charge the idle-lane cycles.
+          lists.small = frontier;
+          it_cost.alu_ops += DivergencePenalty(frontier);
+        }
+        edges_processed =
+            ProcessPush(program, meta, lists, frontier_sorted, jit, it_cost);
+        last_stage_count_ = (lists.small.empty() ? 0u : 1u) +
+                            (lists.medium.empty() ? 0u : 1u) +
+                            (lists.large.empty() ? 0u : 1u);
+      } else {
+        edges_processed = ProcessPull(program, meta, jit, it_cost);
+        // Every contributor's pending activity has now been read by all of
+        // its out-neighbors: consume it (residual-carrying programs subtract
+        // the consumed amount; others are no-ops).
+        for (VertexId v : frontier) {
+          Consume(program, meta, v, Direction::kPull);
+        }
+        last_stage_count_ = 3;
+      }
+
+      const char filter_char = pending_filter;
+      if (static_frontier) {
+        // Frontier provably unchanged (e.g. belief propagation: every vertex
+        // stays active); reuse it without running any filter.
+        meta.SyncPrev();
+        pending_filter = '=';
+      } else {
+        const auto active = [&](VertexId v) {
+          return program.Active(meta.curr(v), meta.prev(v));
+        };
+        std::vector<VertexId> next = jit.BuildNextFrontier(n, active, it_cost);
+        pending_filter = jit.pattern().back();
+        if (jit.failed()) {
+          result.stats.failed = true;
+        }
+        // Frontier committed: "changed" restarts from this snapshot. The
+        // real kernels get this for free from the metadata ping-pong swap.
+        meta.SyncPrev();
+        frontier_sorted = pending_filter == 'B';
+        frontier = std::move(next);
+      }
+
+      const FusionAccountant::IterationCharge charge =
+          fusion.ChargeIteration(device_, dir, iter, last_stage_count_);
+      it_cost.kernel_launches += charge.launches;
+      it_cost.barrier_crossings += charge.barrier_crossings;
+      for (uint64_t b = 0; b < charge.barrier_crossings; ++b) {
+        barrier.ArriveAndDepartAll();
+      }
+
+      const SimTime t =
+          EstimateTime(it_cost, device_, EffectiveOccupancy(charge.occupancy));
+      result.stats.counters += it_cost;
+      result.stats.time.cycles += t.cycles;
+      result.stats.time.ms += t.ms;
+      result.stats.serial_ms +=
+          (static_cast<double>(it_cost.kernel_launches) * device_.kernel_launch_cycles +
+           static_cast<double>(it_cost.barrier_crossings) * device_.barrier_cycles) /
+          (device_.clock_ghz * 1e6);
+      result.stats.total_active += info.frontier_size;
+      result.stats.total_edges_processed += edges_processed;
+      result.stats.direction_pattern += dir == Direction::kPush ? 'p' : 'P';
+      result.stats.filter_pattern += filter_char;
+      if (options_.keep_iteration_log) {
+        result.stats.iteration_logs.push_back(IterationLog{
+            iter, info.frontier_size, edges_processed, filter_char,
+            dir == Direction::kPush ? 'p' : 'P', t.ms});
+      }
+      prev_dir = dir;
+      if (result.stats.failed) {
+        break;
+      }
+    }
+
+    result.stats.iterations = iter;
+    result.stats.converged = iter < options_.max_iterations && !result.stats.failed;
+    result.values = meta.values();
+    return result;
+  }
+
+ private:
+  VertexMeta<Value> MakeMetadata(const Program& program) const {
+    const auto n = static_cast<VertexId>(graph_.vertex_count());
+    // Programs whose pull contributors must be visible on the very first
+    // iteration seed prev differently from curr via InitPrev.
+    if constexpr (requires(const Program& p, VertexId v) { p.InitPrev(v); }) {
+      VertexMeta<Value> meta(n, [&](VertexId v) { return program.InitPrev(v); });
+      for (VertexId v = 0; v < n; ++v) {
+        meta.curr(v) = program.InitValue(v);  // prev keeps InitPrev
+      }
+      return meta;
+    } else {
+      return VertexMeta<Value>(n, [&](VertexId v) { return program.InitValue(v); });
+    }
+  }
+
+  static bool StaticFrontierAfterFirst(const Program& program) {
+    if constexpr (requires(const Program& p) { p.StaticFrontierAfterFirst(); }) {
+      return program.StaticFrontierAfterFirst();
+    }
+    return false;
+  }
+
+  // Optional hook: programs with bucketed/deferred scheduling refill the
+  // frontier when it drains (delta-stepping SSSP's next bucket).
+  static std::vector<VertexId> Refill(const Program& program) {
+    if constexpr (requires(const Program& p) {
+                    { p.RefillFrontier() } -> std::same_as<std::vector<VertexId>>;
+                  }) {
+      return program.RefillFrontier();
+    }
+    return {};
+  }
+
+  // Optional hook: programs carrying explicit activity (e.g. delta-PageRank
+  // residuals) define ConsumeActivity(curr, prev, dir) returning the value
+  // after the pending activity has been handed to the neighbors.
+  static void Consume(const Program& program, VertexMeta<Value>& meta, VertexId v,
+                      Direction dir) {
+    if constexpr (requires(const Program& p, const Value& val) {
+                    {
+                      p.ConsumeActivity(val, val, Direction::kPush)
+                    } -> std::same_as<Value>;
+                  }) {
+      meta.curr(v) = program.ConsumeActivity(meta.curr(v), meta.prev(v), dir);
+    }
+  }
+
+  size_t DeviceBytesNeeded(CombineKind kind) const {
+    const size_t v = graph_.vertex_count();
+    size_t bytes = graph_.CsrFootprintBytes();
+    bytes += 2 * v * sizeof(Value);          // metadata curr + prev
+    bytes += 2 * v * sizeof(VertexId);       // double-buffered worklists
+    if (options_.filter == FilterPolicy::kBatch) {
+      if (kind == CombineKind::kVote) {
+        // Idempotent traversal (BFS class): (src, dst) pairs, one buffer.
+        bytes += static_cast<size_t>(graph_.edge_count()) * 2 * sizeof(VertexId);
+      } else {
+        // Weighted aggregation (SSSP class) keeps weighted triples double-
+        // buffered — "up to 2*|E| memory space" (Section 4), the reason
+        // Gunrock's SSSP OOMs on the larger graphs of Table 4 while its BFS
+        // does not.
+        bytes += BatchFilterFootprintBytes(graph_);
+      }
+    } else {
+      bytes += static_cast<size_t>(options_.sim_worker_threads) *
+               options_.overflow_threshold * sizeof(VertexId);  // thread bins
+    }
+    return bytes;
+  }
+
+  uint64_t FrontierOutEdges(const std::vector<VertexId>& frontier) const {
+    uint64_t edges = 0;
+    for (VertexId v : frontier) {
+      edges += graph_.OutDegree(v);
+    }
+    return edges;
+  }
+
+  // SIMD idle-lane cycles when 32 consecutive frontier vertices share a warp
+  // without degree classification: every lane waits for the group maximum.
+  uint64_t DivergencePenalty(const std::vector<VertexId>& frontier) const {
+    uint64_t penalty = 0;
+    for (size_t base = 0; base < frontier.size(); base += 32) {
+      const size_t end = std::min(frontier.size(), base + 32);
+      uint64_t max_deg = 0;
+      uint64_t sum_deg = 0;
+      for (size_t i = base; i < end; ++i) {
+        const uint64_t d = graph_.OutDegree(frontier[i]);
+        max_deg = std::max(max_deg, d);
+        sum_deg += d;
+      }
+      // Half of the idle-lane cycles hide behind the group's memory
+      // latency; the rest stall the warp's issue slots.
+      penalty += (max_deg * (end - base) - sum_deg) / 2;
+    }
+    return penalty;
+  }
+
+  // Records v into the online bins when it acquired unconsumed activity this
+  // iteration (at most once per iteration — the thread that performed the
+  // activating update owns the record).
+  void MaybeRecord(const Program& program, const VertexMeta<Value>& meta,
+                   VertexId v, uint32_t worker, JitController& jit,
+                   CostCounters& cost) {
+    if (recorded_stamp_[v] == stamp_) {
+      return;
+    }
+    if (program.Active(meta.curr(v), meta.prev(v))) {
+      recorded_stamp_[v] = stamp_;
+      jit.RecordActivation(worker, v, cost);
+    }
+  }
+
+  // --- push: iterate the frontier's out-edges, scatter updates ---
+  uint64_t ProcessPush(const Program& program, VertexMeta<Value>& meta,
+                       const WorkLists& lists, bool frontier_sorted,
+                       JitController& jit, CostCounters& cost) {
+    uint64_t edges = 0;
+    edges += PushList(program, meta, lists.small, KernelClass::kThread,
+                      frontier_sorted, jit, cost);
+    edges += PushList(program, meta, lists.medium, KernelClass::kWarp,
+                      frontier_sorted, jit, cost);
+    edges += PushList(program, meta, lists.large, KernelClass::kCta,
+                      frontier_sorted, jit, cost);
+    return edges;
+  }
+
+  uint64_t PushList(const Program& program, VertexMeta<Value>& meta,
+                    const std::vector<VertexId>& list, KernelClass klass,
+                    bool frontier_sorted, JitController& jit, CostCounters& cost) {
+    const uint32_t workers = options_.sim_worker_threads;
+    uint64_t edges = 0;
+    for (size_t idx = 0; idx < list.size(); ++idx) {
+      const VertexId v = list[idx];
+      const auto nbrs = graph_.out().Neighbors(v);
+      const auto wts = graph_.out().NeighborWeights(v);
+      const uint32_t degree = static_cast<uint32_t>(nbrs.size());
+
+      // Row-offset + own-metadata reads: coalesced when the frontier is
+      // sorted (ballot-filter output), scattered otherwise — the memory
+      // benefit Section 4 attributes to the ballot filter.
+      if (frontier_sorted) {
+        cost.coalesced_words += 3;
+      } else {
+        cost.scattered_words += 3;
+      }
+      // Adjacency ids + weights. The Warp/CTA kernels read them coalesced,
+      // rounded up to full 32-lane transactions; the Thread kernel's lanes
+      // walk unrelated adjacency runs (partial coalescing).
+      if (klass == KernelClass::kThread) {
+        cost.coalesced_words += 2ull * degree;
+        cost.scattered_words += degree / 4;
+      } else {
+        const uint32_t rounded = (degree + 31) / 32 * 32;
+        cost.coalesced_words += 2ull * rounded;
+      }
+
+      for (uint32_t i = 0; i < degree; ++i) {
+        const VertexId u = nbrs[i];
+        cost.scattered_words += 1;  // load destination metadata
+        cost.alu_ops += 2;          // Compute + Combine lane work
+        const Value cand =
+            program.Compute(v, u, wts[i], meta.curr(v), Direction::kPush);
+        const Value applied =
+            program.Apply(u, cand, meta.curr(u), Direction::kPush);
+        if (options_.use_atomic_updates) {
+          // AFC-style: every candidate lands as a device atomic; concurrent
+          // candidates for the same destination serialize (Figure 5's
+          // aggregation overhead).
+          cost.atomic_ops += 1;
+          if (touch_stamp_[u] == stamp_) {
+            cost.atomic_conflicts += 1;
+          }
+          touch_stamp_[u] = stamp_;
+        }
+        // Batch filter: this edge also transited the expanded active-edge
+        // list (3 words written at expansion, 3 read back here).
+        if (options_.filter == FilterPolicy::kBatch) {
+          cost.coalesced_words += 6;
+        }
+        if (program.ValueChanged(meta.curr(u), applied)) {
+          meta.curr(u) = applied;
+          if (!options_.use_atomic_updates) {
+            cost.scattered_words += 1;  // single writer, no atomic (ACC)
+          }
+          MaybeRecord(program, meta, u, WorkerFor(idx, i, klass, workers), jit,
+                      cost);
+        }
+        ++edges;
+      }
+      Consume(program, meta, v, Direction::kPush);
+    }
+    return edges;
+  }
+
+  // --- pull: every (non-skipped) vertex gathers from contributing
+  // in-neighbors, reading previous-iteration values (pure BSP) ---
+  uint64_t ProcessPull(const Program& program, VertexMeta<Value>& meta,
+                       JitController& jit, CostCounters& cost) {
+    const Csr& in = graph_.in();
+    const uint32_t workers = options_.sim_worker_threads;
+    const bool vote = program.combine_kind() == CombineKind::kVote;
+    uint64_t edges = 0;
+    for (VertexId v = 0; v < in.vertex_count(); ++v) {
+      cost.coalesced_words += 1;  // own metadata, sequential over v
+      cost.alu_ops += 1;
+      if (program.PullSkip(meta.prev(v))) {
+        continue;
+      }
+      cost.coalesced_words += 2;  // row offsets
+      const auto nbrs = in.Neighbors(v);
+      const auto wts = in.NeighborWeights(v);
+      Value combined = program.CombineIdentity();
+      bool any = false;
+      uint32_t scanned = 0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId u = nbrs[i];
+        ++edges;
+        ++scanned;
+        cost.alu_ops += 1;
+        if (program.PullContributes(meta.prev(u))) {
+          const Value cand =
+              program.Compute(u, v, wts[i], meta.prev(u), Direction::kPull);
+          combined = any ? program.Combine(combined, cand) : cand;
+          any = true;
+          cost.alu_ops += 2;
+          if (vote && options_.enable_vote_early_exit) {
+            // Voting combine: all updates are identical, one suffices —
+            // collaborative early termination (Section 3.3, Figure 5).
+            break;
+          }
+        }
+      }
+      // A warp gathers 32 neighbors per step, so memory moves in 32-edge
+      // granules even when the vote exits after the first contributor.
+      const uint32_t degree = static_cast<uint32_t>(nbrs.size());
+      const uint32_t granule = std::min(degree, (scanned + 31) / 32 * 32);
+      cost.coalesced_words += 2ull * granule;  // adjacency ids + weights
+      cost.scattered_words += granule;         // contributor metadata (prev)
+      if (!any) {
+        continue;
+      }
+      const Value applied =
+          program.Apply(v, combined, meta.curr(v), Direction::kPull);
+      if (program.ValueChanged(meta.curr(v), applied)) {
+        meta.curr(v) = applied;
+        cost.coalesced_words += 1;  // own write, sequential over v
+        MaybeRecord(program, meta, v, v % workers, jit, cost);
+      }
+    }
+    return edges;
+  }
+
+  // Simulated hardware thread that discovered an activation: a Thread-class
+  // vertex is owned by one lane; Warp/CTA-class vertices spread their edges
+  // over 32 / 256 lanes, which spreads bin pressure — the reason a single
+  // hub rarely overflows a bin but a large frontier volume does.
+  static uint32_t WorkerFor(size_t list_idx, uint32_t edge_idx, KernelClass klass,
+                            uint32_t workers) {
+    uint32_t worker = 0;
+    switch (klass) {
+      case KernelClass::kThread:
+        worker = static_cast<uint32_t>(list_idx);
+        break;
+      case KernelClass::kWarp: {
+        const uint32_t warp_slots = std::max(1u, workers / 32);
+        worker = (static_cast<uint32_t>(list_idx) % warp_slots) * 32 + edge_idx % 32;
+        break;
+      }
+      case KernelClass::kCta: {
+        const uint32_t cta_slots = std::max(1u, workers / 256);
+        worker =
+            (static_cast<uint32_t>(list_idx) % cta_slots) * 256 + edge_idx % 256;
+        break;
+      }
+    }
+    return worker % workers;
+  }
+
+  const Graph& graph_;
+  DeviceSpec device_;
+  EngineOptions options_;
+  // Iteration-stamped "already recorded" marks (avoids duplicate bin
+  // entries; the real system tolerates duplicates, our sequential apply
+  // makes exactly-once recording the natural semantics).
+  std::vector<uint32_t> recorded_stamp_;
+  // Same-iteration destination-touch marks for atomic-contention accounting
+  // (only allocated when use_atomic_updates is set).
+  std::vector<uint32_t> touch_stamp_;
+  uint32_t stamp_ = 0;
+  uint32_t last_stage_count_ = 0;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_ENGINE_H_

@@ -1,0 +1,58 @@
+#include "core/filters.h"
+
+#include <array>
+
+#include "simt/warp.h"
+
+namespace simdx {
+
+std::vector<VertexId> BallotFilterScan(VertexId vertex_count,
+                                       const ActivePredicate& active,
+                                       CostCounters& counters) {
+  std::vector<VertexId> frontier;
+  std::array<bool, kWarpSize> pred{};
+  for (VertexId base = 0; base < vertex_count; base += kWarpSize) {
+    const uint32_t lanes = std::min<VertexId>(kWarpSize, vertex_count - base);
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      pred[lane] = active(base + lane);
+    }
+    const uint32_t mask = WarpBallot({pred.data(), lanes});
+    // First lane of the warp walks the ballot and enqueues set lanes in lane
+    // order — this is what makes the output sorted and duplicate-free.
+    const uint32_t count = PopCount(mask);
+    for (uint32_t n = 0; n < count; ++n) {
+      frontier.push_back(base + NthSetLane(mask, n));
+    }
+    // Each lane reads curr and prev metadata for its vertex: coalesced.
+    counters.coalesced_words += 2ull * lanes;
+    counters.alu_ops += lanes + 1;  // predicate evaluations + the ballot
+    // The emitting lane writes `count` consecutive frontier slots.
+    counters.coalesced_words += count;
+  }
+  return frontier;
+}
+
+std::vector<ActiveEdge> BuildActiveEdgeList(const std::vector<VertexId>& frontier,
+                                            const Graph& g, CostCounters& counters) {
+  std::vector<ActiveEdge> edges;
+  for (VertexId v : frontier) {
+    const auto nbrs = g.out().Neighbors(v);
+    const auto wts = g.out().NeighborWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      edges.push_back(ActiveEdge{v, nbrs[i], wts[i]});
+    }
+    // Read the adjacency run, write 3 words per expanded edge.
+    counters.coalesced_words += 2 + 2ull * nbrs.size();
+    counters.coalesced_words += 3ull * nbrs.size();
+  }
+  return edges;
+}
+
+size_t BatchFilterFootprintBytes(const Graph& g) {
+  // (src, dst, weight) per potentially-active edge, double-buffered between
+  // iterations — "the active list can consume up to 2*|E| memory space"
+  // (Section 4).
+  return static_cast<size_t>(g.edge_count()) * sizeof(ActiveEdge) * 2;
+}
+
+}  // namespace simdx

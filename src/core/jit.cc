@@ -1,0 +1,60 @@
+#include "core/jit.h"
+
+#include <limits>
+
+namespace simdx {
+
+JitController::JitController(FilterPolicy policy, uint32_t worker_threads,
+                             uint32_t overflow_threshold)
+    : policy_(policy),
+      // The batch filter has no bounded-bin concept: per-thread outputs are
+      // sized for the worst case, so bins never overflow (they OOM instead —
+      // accounted in the engine's memory footprint).
+      bins_(worker_threads, policy == FilterPolicy::kBatch
+                                ? std::numeric_limits<uint32_t>::max()
+                                : overflow_threshold) {}
+
+void JitController::RecordActivation(uint32_t worker, VertexId v,
+                                     CostCounters& counters) {
+  if (policy_ == FilterPolicy::kBallotOnly) {
+    return;  // pure ballot never touches bins
+  }
+  // One scattered word into the thread-private bin. After overflow the bin
+  // rejects writes; recording continues to be attempted (and charged) only
+  // until the bin is full, which is what keeps the shadow filter off the
+  // critical path.
+  if (bins_.Record(worker, v)) {
+    counters.scattered_words += 1;
+  }
+}
+
+std::vector<VertexId> JitController::BuildNextFrontier(VertexId vertex_count,
+                                                       const ActivePredicate& active,
+                                                       CostCounters& counters) {
+  const bool overflowed = bins_.overflowed();
+  std::vector<VertexId> frontier;
+
+  const bool use_ballot =
+      policy_ == FilterPolicy::kBallotOnly ||
+      (policy_ == FilterPolicy::kJit && overflowed);
+
+  if (use_ballot) {
+    frontier = BallotFilterScan(vertex_count, active, counters);
+    pattern_ += 'B';
+    ++ballot_iterations_;
+  } else {
+    if (policy_ == FilterPolicy::kOnlineOnly && overflowed) {
+      // Activations were dropped on the floor; results are not trustworthy.
+      failed_ = true;
+    }
+    frontier = bins_.Concatenate();
+    // Prefix-scan concatenation of the bins: read + write each entry once.
+    counters.coalesced_words += 2ull * frontier.size();
+    pattern_ += policy_ == FilterPolicy::kBatch ? 'A' : 'O';
+    ++online_iterations_;
+  }
+  bins_.Reset();
+  return frontier;
+}
+
+}  // namespace simdx

@@ -1,0 +1,48 @@
+// Double-buffered vertex metadata. `curr` is mutated during the iteration;
+// `prev` holds the value at the last frontier generation so that
+// Active(curr, prev) — the ballot filter's scan predicate — can detect
+// vertices updated since then (paper Figure 4(a), SSSP's Active).
+#ifndef SIMDX_CORE_METADATA_H_
+#define SIMDX_CORE_METADATA_H_
+
+#include <vector>
+
+#include "graph/types.h"
+
+namespace simdx {
+
+template <typename Value>
+class VertexMeta {
+ public:
+  VertexMeta() = default;
+
+  template <typename InitFn>
+  VertexMeta(VertexId vertex_count, InitFn init) {
+    curr_.reserve(vertex_count);
+    for (VertexId v = 0; v < vertex_count; ++v) {
+      curr_.push_back(init(v));
+    }
+    prev_ = curr_;
+  }
+
+  VertexId size() const { return static_cast<VertexId>(curr_.size()); }
+
+  const Value& curr(VertexId v) const { return curr_[v]; }
+  Value& curr(VertexId v) { return curr_[v]; }
+  const Value& prev(VertexId v) const { return prev_[v]; }
+
+  const std::vector<Value>& values() const { return curr_; }
+
+  // Frontier generation committed: from now on "changed" means changed
+  // relative to this instant.
+  void SyncPrev() { prev_ = curr_; }
+  void SyncPrev(VertexId v) { prev_[v] = curr_[v]; }
+
+ private:
+  std::vector<Value> curr_;
+  std::vector<Value> prev_;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_METADATA_H_

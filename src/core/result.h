@@ -1,0 +1,55 @@
+// Run outcome: algorithm output plus the execution telemetry every bench and
+// test consumes (iteration count, filter pattern, cost counters, simulated
+// time, memory verdict).
+#ifndef SIMDX_CORE_RESULT_H_
+#define SIMDX_CORE_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/cost_model.h"
+
+namespace simdx {
+
+struct IterationLog {
+  uint32_t iteration = 0;
+  uint64_t frontier_size = 0;
+  uint64_t edges_processed = 0;
+  char filter = '-';     // 'O' online, 'B' ballot, '=' reused frontier
+  char direction = '-';  // 'p' push, 'P' pull
+  double ms = 0.0;
+};
+
+// Telemetry common to every engine (SIMD-X and baselines).
+struct RunStats {
+  uint32_t iterations = 0;
+  bool oom = false;          // refused to run: exceeds the device memory budget
+  bool failed = false;       // policy failure (online-only bin overflow)
+  bool converged = true;     // false if max_iterations was hit
+  uint64_t total_active = 0;
+  uint64_t total_edges_processed = 0;
+  CostCounters counters;
+  SimTime time;
+  // The scale-invariant part of `time`: kernel-launch, barrier and
+  // synchronization overheads that do NOT grow with graph size. Benches use
+  // it to project measurements from the 1/1000-scale presets back to the
+  // paper's scale ((time.ms - serial_ms) * scale + serial_ms).
+  double serial_ms = 0.0;
+  std::string filter_pattern;     // one char per iteration
+  std::string direction_pattern;  // one char per iteration
+  size_t device_bytes_needed = 0;
+  std::vector<IterationLog> iteration_logs;
+
+  bool ok() const { return !oom && !failed; }
+};
+
+template <typename Value>
+struct RunResult {
+  std::vector<Value> values;  // final metadata, indexed by vertex id
+  RunStats stats;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_RESULT_H_

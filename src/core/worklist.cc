@@ -1,0 +1,66 @@
+#include "core/worklist.h"
+
+namespace simdx {
+
+KernelClass ClassifyDegree(uint32_t degree, uint32_t small_degree_limit,
+                           uint32_t medium_degree_limit) {
+  if (degree < small_degree_limit) {
+    return KernelClass::kThread;
+  }
+  if (degree < medium_degree_limit) {
+    return KernelClass::kWarp;
+  }
+  return KernelClass::kCta;
+}
+
+WorkLists ClassifyFrontier(const std::vector<VertexId>& frontier, const Graph& g,
+                           uint32_t small_degree_limit, uint32_t medium_degree_limit) {
+  WorkLists lists;
+  for (VertexId v : frontier) {
+    switch (ClassifyDegree(g.OutDegree(v), small_degree_limit, medium_degree_limit)) {
+      case KernelClass::kThread:
+        lists.small.push_back(v);
+        break;
+      case KernelClass::kWarp:
+        lists.medium.push_back(v);
+        break;
+      case KernelClass::kCta:
+        lists.large.push_back(v);
+        break;
+    }
+  }
+  return lists;
+}
+
+ThreadBins::ThreadBins(uint32_t num_threads, uint32_t capacity_per_bin)
+    : bins_(num_threads), capacity_per_bin_(capacity_per_bin) {}
+
+bool ThreadBins::Record(uint32_t thread_id, VertexId v) {
+  auto& bin = bins_[thread_id % bins_.size()];
+  if (bin.size() >= capacity_per_bin_) {
+    overflowed_ = true;
+    return false;
+  }
+  bin.push_back(v);
+  ++total_recorded_;
+  return true;
+}
+
+std::vector<VertexId> ThreadBins::Concatenate() const {
+  std::vector<VertexId> out;
+  out.reserve(total_recorded_);
+  for (const auto& bin : bins_) {
+    out.insert(out.end(), bin.begin(), bin.end());
+  }
+  return out;
+}
+
+void ThreadBins::Reset() {
+  for (auto& bin : bins_) {
+    bin.clear();
+  }
+  total_recorded_ = 0;
+  overflowed_ = false;
+}
+
+}  // namespace simdx

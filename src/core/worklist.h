@@ -1,0 +1,72 @@
+// Degree-classified work lists (paper Figure 7, step II).
+//
+// The frontier is split by out-degree into small/medium/large lists, mapped
+// to the Thread (1 lane), Warp (32 lanes) and CTA (256 lanes) kernels. This
+// is the workload-balancing half of JIT task management; the filters in
+// filters.h are the task-management half.
+#ifndef SIMDX_CORE_WORKLIST_H_
+#define SIMDX_CORE_WORKLIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace simdx {
+
+enum class KernelClass : uint8_t { kThread, kWarp, kCta };
+
+struct WorkLists {
+  std::vector<VertexId> small;   // degree < small_degree_limit  -> Thread
+  std::vector<VertexId> medium;  // degree < medium_degree_limit -> Warp
+  std::vector<VertexId> large;   // otherwise                    -> CTA
+
+  uint64_t TotalSize() const {
+    return small.size() + medium.size() + large.size();
+  }
+  bool Empty() const { return TotalSize() == 0; }
+  void Clear() {
+    small.clear();
+    medium.clear();
+    large.clear();
+  }
+};
+
+// Partitions `frontier` (in order) into the three lists by out-degree.
+WorkLists ClassifyFrontier(const std::vector<VertexId>& frontier, const Graph& g,
+                           uint32_t small_degree_limit, uint32_t medium_degree_limit);
+
+KernelClass ClassifyDegree(uint32_t degree, uint32_t small_degree_limit,
+                           uint32_t medium_degree_limit);
+
+// Per-thread bounded bins used by the online filter (paper Figure 6(c)).
+// `Record` returns false — and latches `overflowed()` — once the owning bin
+// is full; the caller decides whether that aborts the policy (online-only)
+// or triggers the ballot filter (JIT).
+class ThreadBins {
+ public:
+  ThreadBins(uint32_t num_threads, uint32_t capacity_per_bin);
+
+  bool Record(uint32_t thread_id, VertexId v);
+  bool overflowed() const { return overflowed_; }
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint32_t num_threads() const { return static_cast<uint32_t>(bins_.size()); }
+
+  // The prefix-scan concatenation step (Figure 4(b) line 20-21): bins joined
+  // in thread order. The result is neither sorted nor duplicate-free — the
+  // documented weakness of the online filter.
+  std::vector<VertexId> Concatenate() const;
+
+  void Reset();
+
+ private:
+  std::vector<std::vector<VertexId>> bins_;
+  uint32_t capacity_per_bin_;
+  uint64_t total_recorded_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_WORKLIST_H_

@@ -1,0 +1,82 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace simdx {
+
+Csr Csr::FromEdges(const EdgeList& edges, VertexId vertex_count) {
+  Csr csr;
+  csr.vertex_count_ = std::max(vertex_count, edges.MaxVertexPlusOne());
+  csr.row_offsets_.assign(csr.vertex_count_ + 1, 0);
+  csr.col_indices_.resize(edges.size());
+  csr.weights_.resize(edges.size());
+
+  // Counting sort by source: one pass to count degrees, prefix sum, one pass
+  // to scatter. O(V + E) regardless of input order.
+  for (const Edge& e : edges) {
+    ++csr.row_offsets_[e.src + 1];
+  }
+  std::partial_sum(csr.row_offsets_.begin(), csr.row_offsets_.end(),
+                   csr.row_offsets_.begin());
+  std::vector<EdgeIdx> cursor(csr.row_offsets_.begin(), csr.row_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    const EdgeIdx slot = cursor[e.src]++;
+    csr.col_indices_[slot] = e.dst;
+    csr.weights_[slot] = e.weight;
+  }
+
+  // Sort each adjacency run by destination so that neighbor scans are ordered
+  // (the ballot filter and tests rely on deterministic neighbor order).
+  for (VertexId v = 0; v < csr.vertex_count_; ++v) {
+    const EdgeIdx lo = csr.row_offsets_[v];
+    const EdgeIdx hi = csr.row_offsets_[v + 1];
+    std::vector<std::pair<VertexId, Weight>> run;
+    run.reserve(hi - lo);
+    for (EdgeIdx i = lo; i < hi; ++i) {
+      run.emplace_back(csr.col_indices_[i], csr.weights_[i]);
+    }
+    std::sort(run.begin(), run.end());
+    for (EdgeIdx i = lo; i < hi; ++i) {
+      csr.col_indices_[i] = run[i - lo].first;
+      csr.weights_[i] = run[i - lo].second;
+    }
+  }
+  return csr;
+}
+
+Csr Csr::Transposed() const {
+  EdgeList reversed;
+  reversed.Reserve(col_indices_.size());
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    const auto nbrs = Neighbors(v);
+    const auto wts = NeighborWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      reversed.Add(nbrs[i], v, wts[i]);
+    }
+  }
+  return FromEdges(reversed, vertex_count_);
+}
+
+bool Csr::Validate() const {
+  if (row_offsets_.size() != static_cast<size_t>(vertex_count_) + 1) {
+    return false;
+  }
+  if (row_offsets_.front() != 0 ||
+      row_offsets_.back() != static_cast<EdgeIdx>(col_indices_.size())) {
+    return false;
+  }
+  for (size_t i = 1; i < row_offsets_.size(); ++i) {
+    if (row_offsets_[i] < row_offsets_[i - 1]) {
+      return false;
+    }
+  }
+  for (VertexId c : col_indices_) {
+    if (c >= vertex_count_) {
+      return false;
+    }
+  }
+  return weights_.size() == col_indices_.size();
+}
+
+}  // namespace simdx

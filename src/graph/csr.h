@@ -1,0 +1,66 @@
+// Compressed Sparse Row adjacency — the storage format SIMD-X standardizes on
+// (Section 3.1 / Table 1): roughly half the space of an edge list, which is
+// what lets the framework hold graphs the edge-list engines (CuSha) cannot.
+#ifndef SIMDX_GRAPH_CSR_H_
+#define SIMDX_GRAPH_CSR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace simdx {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds from an edge list. `vertex_count` may exceed the largest endpoint
+  // to create isolated trailing vertices; pass 0 to infer it. The input does
+  // not need to be sorted.
+  static Csr FromEdges(const EdgeList& edges, VertexId vertex_count = 0);
+
+  VertexId vertex_count() const { return vertex_count_; }
+  EdgeIdx edge_count() const { return static_cast<EdgeIdx>(col_indices_.size()); }
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(row_offsets_[v + 1] - row_offsets_[v]);
+  }
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {col_indices_.data() + row_offsets_[v],
+            col_indices_.data() + row_offsets_[v + 1]};
+  }
+  std::span<const Weight> NeighborWeights(VertexId v) const {
+    return {weights_.data() + row_offsets_[v], weights_.data() + row_offsets_[v + 1]};
+  }
+
+  const std::vector<EdgeIdx>& row_offsets() const { return row_offsets_; }
+  const std::vector<VertexId>& col_indices() const { return col_indices_; }
+  const std::vector<Weight>& weights() const { return weights_; }
+
+  // Device-resident size of this CSR under the paper's layout: uint64 row
+  // offsets, uint32 columns, uint32 weights. Drives the OOM model in Table 4.
+  size_t MemoryFootprintBytes() const {
+    return row_offsets_.size() * sizeof(EdgeIdx) +
+           col_indices_.size() * sizeof(VertexId) + weights_.size() * sizeof(Weight);
+  }
+
+  // Returns the transpose (in-neighbor CSR), used by pull-mode processing.
+  Csr Transposed() const;
+
+  // Internal-consistency check: offsets monotone, columns in range. Used by
+  // tests and the debug path of loaders.
+  bool Validate() const;
+
+ private:
+  VertexId vertex_count_ = 0;
+  std::vector<EdgeIdx> row_offsets_;   // size vertex_count_ + 1
+  std::vector<VertexId> col_indices_;  // size edge_count
+  std::vector<Weight> weights_;        // size edge_count
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_GRAPH_CSR_H_

@@ -1,0 +1,61 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+#include <random>
+
+namespace simdx {
+
+VertexId EdgeList::MaxVertexPlusOne() const {
+  VertexId max_plus_one = 0;
+  for (const Edge& e : edges_) {
+    max_plus_one = std::max(max_plus_one, e.src + 1);
+    max_plus_one = std::max(max_plus_one, e.dst + 1);
+  }
+  return max_plus_one;
+}
+
+void EdgeList::SortBySource() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    return a.dst < b.dst;
+  });
+}
+
+void EdgeList::DedupAndDropSelfLoops() {
+  std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    if (a.dst != b.dst) {
+      return a.dst < b.dst;
+    }
+    return a.weight < b.weight;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+}
+
+void EdgeList::Symmetrize() {
+  const size_t n = edges_.size();
+  edges_.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    const Edge e = edges_[i];
+    edges_.push_back(Edge{e.dst, e.src, e.weight});
+  }
+}
+
+void EdgeList::RandomizeWeights(uint32_t max_weight, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> dist(1, max_weight);
+  for (Edge& e : edges_) {
+    e.weight = dist(rng);
+  }
+}
+
+}  // namespace simdx

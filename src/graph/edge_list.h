@@ -1,0 +1,56 @@
+// A mutable list of weighted directed edges — the intermediate representation
+// every loader and generator produces before the CSR builder consumes it.
+#ifndef SIMDX_GRAPH_EDGE_LIST_H_
+#define SIMDX_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace simdx {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+
+  void Add(VertexId src, VertexId dst, Weight weight = 1) {
+    edges_.push_back(Edge{src, dst, weight});
+  }
+  void Reserve(size_t n) { edges_.reserve(n); }
+
+  size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+  const Edge& operator[](size_t i) const { return edges_[i]; }
+  Edge& operator[](size_t i) { return edges_[i]; }
+  auto begin() const { return edges_.begin(); }
+  auto end() const { return edges_.end(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Largest endpoint id + 1, or 0 for an empty list.
+  VertexId MaxVertexPlusOne() const;
+
+  // Sorts by (src, dst); stable across equal weights is not guaranteed.
+  void SortBySource();
+
+  // Removes duplicate (src, dst) pairs keeping the smallest weight, and
+  // removes self loops. Sorts as a side effect.
+  void DedupAndDropSelfLoops();
+
+  // Appends the reverse of every edge (same weight). Used to turn a directed
+  // list into an undirected adjacency structure.
+  void Symmetrize();
+
+  // Overwrites all weights with values drawn uniformly from
+  // [1, max_weight], seeded deterministically — mirrors the paper's
+  // "random generator ... similar to Gunrock" for unweighted inputs.
+  void RandomizeWeights(uint32_t max_weight, uint64_t seed);
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,187 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <random>
+
+namespace simdx {
+namespace {
+
+// SplitMix-style bit mixer used to relabel Kronecker vertices.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Edge RmatEdge(uint32_t scale, const RmatParams& p, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  VertexId src = 0;
+  VertexId dst = 0;
+  for (uint32_t bit = 0; bit < scale; ++bit) {
+    const double r = uni(rng);
+    src <<= 1;
+    dst <<= 1;
+    if (r < p.a) {
+      // top-left quadrant: no bits set
+    } else if (r < p.a + p.b) {
+      dst |= 1;
+    } else if (r < p.a + p.b + p.c) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return Edge{src, dst, 1};
+}
+
+}  // namespace
+
+EdgeList GenerateRmat(uint32_t scale, uint32_t edge_factor, uint64_t seed,
+                      RmatParams params, uint32_t max_weight) {
+  std::mt19937_64 rng(seed);
+  const EdgeIdx edge_count = static_cast<EdgeIdx>(edge_factor) << scale;
+  EdgeList list;
+  list.Reserve(edge_count);
+  for (EdgeIdx i = 0; i < edge_count; ++i) {
+    Edge e = RmatEdge(scale, params, rng);
+    list.Add(e.src, e.dst);
+  }
+  list.RandomizeWeights(max_weight, seed ^ 0x5eedull);
+  return list;
+}
+
+EdgeList GenerateKronecker(uint32_t scale, uint32_t edge_factor, uint64_t seed,
+                           uint32_t max_weight) {
+  // Graph500: R-MAT with (0.57, 0.19, 0.19) plus vertex relabeling so hubs
+  // are spread over the id space rather than packed near zero.
+  EdgeList raw = GenerateRmat(scale, edge_factor, seed, RmatParams{}, max_weight);
+  const VertexId n = VertexId{1} << scale;
+  EdgeList shuffled;
+  shuffled.Reserve(raw.size());
+  for (const Edge& e : raw) {
+    const VertexId src = static_cast<VertexId>(Mix64(seed ^ e.src) % n);
+    const VertexId dst = static_cast<VertexId>(Mix64(seed ^ e.dst) % n);
+    shuffled.Add(src, dst, e.weight);
+  }
+  return shuffled;
+}
+
+EdgeList GenerateUniformRandom(VertexId vertex_count, EdgeIdx edge_count,
+                               uint64_t seed, uint32_t max_weight) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> pick(0, vertex_count - 1);
+  std::uniform_int_distribution<uint32_t> wdist(1, max_weight);
+  EdgeList list;
+  list.Reserve(edge_count);
+  for (EdgeIdx i = 0; i < edge_count; ++i) {
+    list.Add(pick(rng), pick(rng), wdist(rng));
+  }
+  return list;
+}
+
+EdgeList GenerateGridRoad(uint32_t width, uint32_t height, uint64_t seed,
+                          double chord_fraction, uint32_t max_weight) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::uniform_int_distribution<uint32_t> wdist(1, max_weight);
+  EdgeList list;
+  list.Reserve(static_cast<size_t>(width) * height * 2);
+  auto id = [width](uint32_t x, uint32_t y) {
+    return static_cast<VertexId>(y * width + x);
+  };
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        list.Add(id(x, y), id(x + 1, y), wdist(rng));
+      }
+      if (y + 1 < height) {
+        list.Add(id(x, y), id(x, y + 1), wdist(rng));
+      }
+      // Occasional short diagonal chord: keeps the graph irregular like a
+      // real road network without collapsing the diameter.
+      if (x + 1 < width && y + 1 < height && uni(rng) < chord_fraction) {
+        list.Add(id(x, y), id(x + 1, y + 1), wdist(rng));
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateSmallWorld(VertexId vertex_count, uint32_t k, double beta,
+                            uint64_t seed, uint32_t max_weight) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::uniform_int_distribution<VertexId> pick(0, vertex_count - 1);
+  std::uniform_int_distribution<uint32_t> wdist(1, max_weight);
+  EdgeList list;
+  list.Reserve(static_cast<size_t>(vertex_count) * k);
+  for (VertexId v = 0; v < vertex_count; ++v) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      VertexId target = (v + j) % vertex_count;
+      if (uni(rng) < beta) {
+        target = pick(rng);
+      }
+      list.Add(v, target, wdist(rng));
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateChain(VertexId vertex_count) {
+  EdgeList list;
+  for (VertexId v = 0; v + 1 < vertex_count; ++v) {
+    list.Add(v, v + 1, 1);
+  }
+  return list;
+}
+
+EdgeList GenerateStar(VertexId leaf_count) {
+  EdgeList list;
+  for (VertexId v = 1; v <= leaf_count; ++v) {
+    list.Add(0, v, 1);
+  }
+  return list;
+}
+
+EdgeList GenerateComplete(VertexId vertex_count) {
+  EdgeList list;
+  for (VertexId u = 0; u < vertex_count; ++u) {
+    for (VertexId v = u + 1; v < vertex_count; ++v) {
+      list.Add(u, v, 1);
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateBinaryTree(uint32_t levels) {
+  EdgeList list;
+  const VertexId n = (VertexId{1} << levels) - 1;
+  for (VertexId v = 1; v < n; ++v) {
+    list.Add((v - 1) / 2, v, 1);
+  }
+  return list;
+}
+
+EdgeList PaperFigure1Graph() {
+  // Vertices a..i are ids 0..8. The weights are chosen so that the SSSP
+  // fixpoint matches the paper's Figure 1(f) distance array:
+  //   a=0 b=4 c=5 d=1 e=3 f=4 g=6 h=7 i=9,
+  // with the same relaxation story (b improves from 5 via a-b to 4 via
+  // d-e-b across iterations 1 and 3).
+  EdgeList list;
+  list.Add(0, 1, 5);  // a-b
+  list.Add(0, 3, 1);  // a-d
+  list.Add(3, 4, 2);  // d-e
+  list.Add(1, 4, 1);  // b-e
+  list.Add(1, 2, 1);  // b-c
+  list.Add(4, 5, 1);  // e-f
+  list.Add(4, 6, 3);  // e-g
+  list.Add(5, 7, 3);  // f-h
+  list.Add(7, 8, 2);  // h-i
+  list.Add(6, 8, 4);  // g-i
+  return list;
+}
+
+}  // namespace simdx

@@ -1,0 +1,41 @@
+#include "graph/graph.h"
+
+namespace simdx {
+
+Graph Graph::FromEdges(EdgeList edges, bool directed, VertexId vertex_count,
+                       std::string name) {
+  Graph g;
+  g.directed_ = directed;
+  g.name_ = std::move(name);
+  if (!directed) {
+    edges.Symmetrize();
+    edges.DedupAndDropSelfLoops();
+    g.out_ = Csr::FromEdges(edges, vertex_count);
+  } else {
+    edges.DedupAndDropSelfLoops();
+    g.out_ = Csr::FromEdges(edges, vertex_count);
+    g.in_ = g.out_.Transposed();
+  }
+  return g;
+}
+
+size_t Graph::CsrFootprintBytes() const {
+  size_t bytes = out_.MemoryFootprintBytes();
+  if (directed_) {
+    bytes += in_.MemoryFootprintBytes();
+  }
+  return bytes;
+}
+
+size_t Graph::EdgeListFootprintBytes() const {
+  // src + dst + weight per stored edge; directed graphs additionally keep the
+  // reverse list for pull-style shards.
+  const size_t per_edge = sizeof(VertexId) * 2 + sizeof(Weight);
+  size_t bytes = static_cast<size_t>(out_.edge_count()) * per_edge;
+  if (directed_) {
+    bytes *= 2;
+  }
+  return bytes;
+}
+
+}  // namespace simdx

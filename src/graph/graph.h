@@ -1,0 +1,52 @@
+// The top-level graph object consumed by engines: an out-CSR for push-mode
+// processing plus (for directed graphs) an in-CSR for pull mode, exactly the
+// storage scheme of the paper's Section 6 "Storage Format".
+#ifndef SIMDX_GRAPH_GRAPH_H_
+#define SIMDX_GRAPH_GRAPH_H_
+
+#include <string>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace simdx {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // `directed == false` symmetrizes the input so that out == in and only one
+  // CSR is stored (the paper: "For undirected graph, we only need to store
+  // the out-neighbors").
+  static Graph FromEdges(EdgeList edges, bool directed, VertexId vertex_count = 0,
+                         std::string name = "");
+
+  const Csr& out() const { return out_; }
+  const Csr& in() const { return directed_ ? in_ : out_; }
+  bool directed() const { return directed_; }
+  const std::string& name() const { return name_; }
+
+  VertexId vertex_count() const { return out_.vertex_count(); }
+  EdgeIdx edge_count() const { return out_.edge_count(); }
+
+  uint32_t OutDegree(VertexId v) const { return out_.Degree(v); }
+  uint32_t InDegree(VertexId v) const { return in().Degree(v); }
+
+  // Bytes needed to keep this graph resident on the device in CSR form —
+  // out-CSR always, plus the in-CSR when directed.
+  size_t CsrFootprintBytes() const;
+  // The same graph held as a raw edge list (CuSha-style): source, destination
+  // and weight per edge, roughly doubling the CSR footprint (Table 1).
+  size_t EdgeListFootprintBytes() const;
+
+ private:
+  Csr out_;
+  Csr in_;  // empty when undirected
+  bool directed_ = false;
+  std::string name_;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_GRAPH_GRAPH_H_

@@ -1,0 +1,96 @@
+#include "graph/io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace simdx {
+namespace {
+constexpr std::array<char, 8> kMagic = {'S', 'I', 'M', 'D', 'X', 'E', 'L', '1'};
+}  // namespace
+
+std::optional<EdgeList> ReadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  EdgeList list;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      continue;
+    }
+    std::istringstream ls(line);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    uint64_t weight = 1;
+    if (!(ls >> src >> dst)) {
+      return std::nullopt;
+    }
+    ls >> weight;  // optional third column
+    if (src > kInvalidVertex || dst > kInvalidVertex) {
+      return std::nullopt;
+    }
+    list.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+             static_cast<Weight>(weight));
+  }
+  return list;
+}
+
+bool WriteEdgeListText(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "# simdx edge list: src dst weight\n";
+  for (const Edge& e : edges) {
+    out << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<EdgeList> ReadEdgeListBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    return std::nullopt;
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    return std::nullopt;
+  }
+  EdgeList list;
+  list.Reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t rec[3];
+    in.read(reinterpret_cast<char*>(rec), sizeof(rec));
+    if (!in) {
+      return std::nullopt;
+    }
+    list.Add(rec[0], rec[1], rec[2]);
+  }
+  return list;
+}
+
+bool WriteEdgeListBinary(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out.write(kMagic.data(), kMagic.size());
+  const uint64_t count = edges.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Edge& e : edges) {
+    const uint32_t rec[3] = {e.src, e.dst, e.weight};
+    out.write(reinterpret_cast<const char*>(rec), sizeof(rec));
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace simdx

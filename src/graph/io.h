@@ -1,0 +1,25 @@
+// Edge-list IO: whitespace-separated text ("src dst [weight]", '#' comments)
+// and a compact binary container, so examples can persist generated graphs
+// and users can load their own datasets.
+#ifndef SIMDX_GRAPH_IO_H_
+#define SIMDX_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/edge_list.h"
+
+namespace simdx {
+
+// Returns std::nullopt on open failure or parse error (malformed line).
+std::optional<EdgeList> ReadEdgeListText(const std::string& path);
+bool WriteEdgeListText(const EdgeList& edges, const std::string& path);
+
+// Binary layout: 8-byte magic "SIMDXEL1", uint64 edge count, then packed
+// {uint32 src, uint32 dst, uint32 weight} triples. Little-endian host order.
+std::optional<EdgeList> ReadEdgeListBinary(const std::string& path);
+bool WriteEdgeListBinary(const EdgeList& edges, const std::string& path);
+
+}  // namespace simdx
+
+#endif  // SIMDX_GRAPH_IO_H_

@@ -1,0 +1,82 @@
+#include "graph/presets.h"
+
+#include <cassert>
+
+#include "graph/generators.h"
+
+namespace simdx {
+
+const std::vector<PresetInfo>& AllPresets() {
+  static const std::vector<PresetInfo> kPresets = {
+      {"FB", "Facebook (scaled)", false, "social", "low"},
+      {"ER", "Europe-osm (scaled)", false, "road", "high"},
+      {"KR", "Kron24 (scaled)", false, "synthetic", "low"},
+      {"LJ", "LiveJournal (scaled)", true, "social", "medium"},
+      {"OR", "Orkut (scaled)", false, "social", "low"},
+      {"PK", "Pokec (scaled)", true, "social", "medium"},
+      {"RD", "Random (scaled)", false, "synthetic", "low"},
+      {"RC", "RoadCA-net (scaled)", false, "road", "high"},
+      {"RM", "R-MAT (scaled)", true, "synthetic", "low"},
+      {"UK", "UK-2002 (scaled)", true, "web", "medium"},
+      {"TW", "Twitter (scaled)", true, "social", "medium"},
+  };
+  return kPresets;
+}
+
+double PresetScaleFactor() { return 1000.0; }
+
+Graph LoadPreset(std::string_view abbrev) {
+  // Seeds are fixed per graph so every binary sees identical bits.
+  if (abbrev == "FB") {
+    return Graph::FromEdges(GenerateKronecker(14, 24, /*seed=*/101), false, 0, "FB");
+  }
+  if (abbrev == "ER") {
+    // 2000 x 25 grid: 50k vertices, diameter ~2020 — Europe-osm's is 2570,
+    // and the paper reports 2578 BFS iterations on it (Figure 8). Road
+    // weights span a narrow range (segment travel times), which keeps the
+    // weighted SSSP wavefront thin like the real graph's.
+    return Graph::FromEdges(
+        GenerateGridRoad(2000, 25, /*seed=*/102, 0.01, /*max_weight=*/8), false,
+        0, "ER");
+  }
+  if (abbrev == "KR") {
+    return Graph::FromEdges(GenerateKronecker(14, 16, /*seed=*/103), false, 0, "KR");
+  }
+  if (abbrev == "LJ") {
+    return Graph::FromEdges(GenerateRmat(13, 14, /*seed=*/104), true, 0, "LJ");
+  }
+  if (abbrev == "OR") {
+    return Graph::FromEdges(GenerateRmat(12, 38, /*seed=*/105), false, 0, "OR");
+  }
+  if (abbrev == "PK") {
+    return Graph::FromEdges(GenerateRmat(12, 18, /*seed=*/106), true, 0, "PK");
+  }
+  if (abbrev == "RD") {
+    return Graph::FromEdges(GenerateUniformRandom(12000, 160000, /*seed=*/107),
+                            false, 0, "RD");
+  }
+  if (abbrev == "RC") {
+    // 500 x 40 grid: 20k vertices, diameter ~535 (RoadCA-net's is 555, and
+    // the paper reports 555 BFS iterations on it). Narrow road weights, as
+    // for ER.
+    return Graph::FromEdges(
+        GenerateGridRoad(500, 40, /*seed=*/108, 0.01, /*max_weight=*/8), false, 0,
+        "RC");
+  }
+  if (abbrev == "RM") {
+    return Graph::FromEdges(GenerateRmat(12, 32, /*seed=*/109), true, 0, "RM");
+  }
+  if (abbrev == "UK") {
+    // Web crawl: stronger skew than a social network.
+    return Graph::FromEdges(
+        GenerateRmat(14, 16, /*seed=*/110, RmatParams{0.65, 0.15, 0.15}), true, 0,
+        "UK");
+  }
+  if (abbrev == "TW") {
+    return Graph::FromEdges(GenerateKronecker(14, 24, /*seed=*/111), true, 0, "TW");
+  }
+  assert(false && "unknown preset abbreviation");
+  return Graph{};
+}
+
+}  // namespace simdx

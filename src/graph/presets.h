@@ -1,0 +1,43 @@
+// Scaled-down stand-ins for the paper's Table 3 dataset suite.
+//
+// The real evaluation graphs (Facebook 775 M edges, Twitter 787 M edges, …)
+// are proprietary crawls or too large for a cycle-accurate CPU simulator, so
+// each preset reproduces the *class* of its namesake — degree-distribution
+// shape (skewed social / uniform random / bounded-degree road) and diameter
+// class (single-digit / tens / hundreds-to-thousands) — at roughly 1/1000
+// scale. DESIGN.md Section 2 records this substitution.
+#ifndef SIMDX_GRAPH_PRESETS_H_
+#define SIMDX_GRAPH_PRESETS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct PresetInfo {
+  std::string abbrev;       // the paper's column label: FB, ER, KR, ...
+  std::string full_name;    // e.g. "Facebook (scaled)"
+  bool directed = false;
+  std::string klass;        // "social" | "road" | "web" | "synthetic"
+  std::string diameter_class;  // "low" (<10) | "medium" (10-50) | "high" (>100)
+};
+
+// The 11 abbreviations in the paper's Table 3 order.
+const std::vector<PresetInfo>& AllPresets();
+
+// Builds the named preset deterministically (same bits every call).
+// Unknown abbreviations abort via assert in debug and return an empty graph
+// in release.
+Graph LoadPreset(std::string_view abbrev);
+
+// Scale factor relating a preset to its real-world namesake (edges_real /
+// edges_preset, approximately). Used by the Table 4 bench to shrink the
+// device-memory budget proportionally so the paper's OOM rows reappear.
+double PresetScaleFactor();
+
+}  // namespace simdx
+
+#endif  // SIMDX_GRAPH_PRESETS_H_

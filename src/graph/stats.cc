@@ -1,0 +1,136 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace simdx {
+
+DegreeStats ComputeOutDegreeStats(const Graph& g) {
+  DegreeStats s;
+  const VertexId n = g.vertex_count();
+  if (n == 0) {
+    return s;
+  }
+  std::vector<uint32_t> degrees(n);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = g.OutDegree(v);
+    total += degrees[v];
+  }
+  std::sort(degrees.begin(), degrees.end());
+  s.min = degrees.front();
+  s.max = degrees.back();
+  s.mean = static_cast<double>(total) / n;
+  s.median = degrees[n / 2];
+  s.p99 = degrees[static_cast<size_t>(n * 0.99)];
+  return s;
+}
+
+namespace {
+
+// Plain CPU BFS returning (levels, farthest vertex, eccentricity).
+struct BfsResult {
+  std::vector<uint32_t> level;
+  VertexId farthest = kInvalidVertex;
+  uint32_t eccentricity = 0;
+};
+
+BfsResult RunBfs(const Graph& g, VertexId source) {
+  BfsResult r;
+  r.level.assign(g.vertex_count(), kInfinity);
+  if (source >= g.vertex_count()) {
+    return r;
+  }
+  std::queue<VertexId> q;
+  r.level[source] = 0;
+  r.farthest = source;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.out().Neighbors(v)) {
+      if (r.level[u] == kInfinity) {
+        r.level[u] = r.level[v] + 1;
+        if (r.level[u] > r.eccentricity) {
+          r.eccentricity = r.level[u];
+          r.farthest = u;
+        }
+        q.push(u);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+uint32_t BfsEccentricity(const Graph& g, VertexId source) {
+  if (g.vertex_count() == 0) {
+    return kInfinity;
+  }
+  return RunBfs(g, source).eccentricity;
+}
+
+uint32_t ApproxDiameter(const Graph& g, uint32_t probes) {
+  if (g.vertex_count() == 0) {
+    return 0;
+  }
+  uint32_t best = 0;
+  VertexId start = 0;
+  for (uint32_t i = 0; i < probes; ++i) {
+    const BfsResult r = RunBfs(g, start);
+    best = std::max(best, r.eccentricity);
+    // Double sweep: restart from the farthest vertex found.
+    start = r.farthest;
+    if (start == kInvalidVertex) {
+      break;
+    }
+  }
+  return best;
+}
+
+uint32_t ComponentCount(const Graph& g) {
+  const VertexId n = g.vertex_count();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) {
+    parent[v] = v;
+  }
+  // Union-find with path halving.
+  auto find = [&parent](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.out().Neighbors(v)) {
+      const VertexId rv = find(v);
+      const VertexId ru = find(u);
+      if (rv != ru) {
+        parent[rv] = ru;
+      }
+    }
+  }
+  uint32_t roots = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (find(v) == v) {
+      ++roots;
+    }
+  }
+  return roots;
+}
+
+uint64_t ReachableCount(const Graph& g, VertexId source) {
+  const BfsResult r = RunBfs(g, source);
+  uint64_t count = 0;
+  for (uint32_t lv : r.level) {
+    if (lv != kInfinity) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace simdx

@@ -1,0 +1,42 @@
+// Structural statistics used by tests, examples, and the workload tables the
+// benchmarks print (vertex/edge counts, skew, diameter class).
+#ifndef SIMDX_GRAPH_STATS_H_
+#define SIMDX_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct DegreeStats {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  double mean = 0.0;
+  uint32_t median = 0;
+  uint32_t p99 = 0;
+  // max / mean: >10 indicates the skewed regime where the thread/warp/CTA
+  // split matters (social and web classes).
+  double skew() const { return mean > 0.0 ? max / mean : 0.0; }
+};
+
+DegreeStats ComputeOutDegreeStats(const Graph& g);
+
+// Eccentricity of `source` via BFS; kInfinity if the graph is empty.
+// Unreachable vertices are ignored.
+uint32_t BfsEccentricity(const Graph& g, VertexId source);
+
+// Lower bound on the diameter: the max eccentricity over `probes`
+// double-sweep BFS probes. Exact on trees/paths, a good classifier
+// elsewhere — we only need the low/medium/high distinction of Table 3.
+uint32_t ApproxDiameter(const Graph& g, uint32_t probes = 4);
+
+// Number of weakly connected components (treats edges as undirected).
+uint32_t ComponentCount(const Graph& g);
+
+// Vertices reachable from `source` following out-edges (including source).
+uint64_t ReachableCount(const Graph& g, VertexId source);
+
+}  // namespace simdx
+
+#endif  // SIMDX_GRAPH_STATS_H_

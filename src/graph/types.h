@@ -1,0 +1,34 @@
+// Fundamental scalar types shared by every SIMD-X module.
+//
+// The paper (Section 7) uses uint32 vertex identifiers and uint64 edge
+// indices so that graphs with more than 4 G edges can be addressed while
+// vertex metadata stays compact; we keep the same convention.
+#ifndef SIMDX_GRAPH_TYPES_H_
+#define SIMDX_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace simdx {
+
+using VertexId = uint32_t;
+using EdgeIdx = uint64_t;
+using Weight = uint32_t;
+
+// Sentinel for "no vertex" (also used as the unreached BFS level / SSSP
+// distance before relaxation).
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr uint32_t kInfinity = std::numeric_limits<uint32_t>::max();
+
+// A single weighted directed edge; the unit of the builder and the IO layer.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_GRAPH_TYPES_H_

@@ -1,0 +1,94 @@
+#include "simt/barrier.h"
+
+#include <algorithm>
+
+namespace simdx {
+namespace {
+
+enum class CtaState : uint8_t {
+  kQueued,     // waiting for a residency slot
+  kRunning,    // resident, executing towards the next barrier
+  kAtBarrier,  // resident, spinning on the lock array
+  kRetired,
+};
+
+}  // namespace
+
+BarrierSimResult SimulateGlobalBarrier(uint32_t grid_ctas, uint32_t resident_capacity,
+                                       uint32_t barriers) {
+  BarrierSimResult result;
+  if (grid_ctas == 0) {
+    return result;
+  }
+  std::vector<CtaState> state(grid_ctas, CtaState::kQueued);
+  std::vector<uint32_t> barriers_passed(grid_ctas, 0);
+  uint32_t resident = 0;
+  uint32_t retired = 0;
+
+  while (retired < grid_ctas) {
+    ++result.steps;
+    bool progressed = false;
+
+    // Phase 1: the hardware scheduler places queued CTAs into free slots.
+    for (uint32_t c = 0; c < grid_ctas && resident < resident_capacity; ++c) {
+      if (state[c] == CtaState::kQueued) {
+        state[c] = CtaState::kRunning;
+        ++resident;
+        progressed = true;
+      }
+    }
+
+    // Phase 2: running CTAs reach the next barrier (or retire after the
+    // last one). This models the spin in Figure 10: a CTA holds its slot
+    // until the barrier it waits on completes.
+    for (uint32_t c = 0; c < grid_ctas; ++c) {
+      if (state[c] == CtaState::kRunning) {
+        if (barriers_passed[c] == barriers) {
+          state[c] = CtaState::kRetired;
+          ++retired;
+          --resident;
+        } else {
+          state[c] = CtaState::kAtBarrier;
+        }
+        progressed = true;
+      }
+    }
+
+    // Phase 3: the monitor releases the barrier only when every CTA of the
+    // grid has arrived — including the ones still queued, which is the
+    // deadlock condition.
+    uint32_t at_barrier = 0;
+    for (uint32_t c = 0; c < grid_ctas; ++c) {
+      if (state[c] == CtaState::kAtBarrier) {
+        ++at_barrier;
+      }
+    }
+    // All unretired CTAs spinning means no CTA is queued or running.
+    if (at_barrier > 0 && at_barrier == grid_ctas - retired) {
+      for (uint32_t c = 0; c < grid_ctas; ++c) {
+        if (state[c] == CtaState::kAtBarrier) {
+          ++barriers_passed[c];
+          state[c] = CtaState::kRunning;
+        }
+      }
+      progressed = true;
+    }
+
+    if (!progressed) {
+      result.deadlocked = true;
+      for (CtaState s : state) {
+        if (s == CtaState::kQueued) {
+          ++result.starved_ctas;
+        }
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+uint32_t DeadlockFreeGridSize(const DeviceSpec& device, const KernelResources& kernel) {
+  return MaxResidentCtas(device, kernel);
+}
+
+}  // namespace simdx

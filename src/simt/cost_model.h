@@ -1,0 +1,62 @@
+// Event-counting cost model.
+//
+// Engines record WHAT the GPU would do (coalesced transactions, scattered
+// words, atomics with their contention, ALU work, kernel launches, barrier
+// crossings); the model converts the counts into simulated cycles and
+// milliseconds for a given device and kernel occupancy. Absolute numbers are
+// synthetic; ratios between engine strategies are the reproduction target.
+#ifndef SIMDX_SIMT_COST_MODEL_H_
+#define SIMDX_SIMT_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "simt/device.h"
+#include "simt/occupancy.h"
+
+namespace simdx {
+
+struct CostCounters {
+  // 32-bit words moved through coalesced accesses (sequential scans of CSR
+  // runs, metadata arrays, worklists). 32 words = one transaction.
+  uint64_t coalesced_words = 0;
+  // 32-bit words moved through scattered accesses (random metadata reads or
+  // writes at arbitrary vertex ids). One word = one transaction.
+  uint64_t scattered_words = 0;
+  // Device-memory atomic operations.
+  uint64_t atomic_ops = 0;
+  // Extra serialization from atomics landing on the same address: the sum of
+  // (conflict-chain length - 1) over all atomics.
+  uint64_t atomic_conflicts = 0;
+  // Plain ALU work items (one per edge relaxation, comparison, ...).
+  uint64_t alu_ops = 0;
+  uint64_t kernel_launches = 0;
+  uint64_t barrier_crossings = 0;
+
+  CostCounters& operator+=(const CostCounters& o);
+  friend CostCounters operator+(CostCounters a, const CostCounters& b) {
+    a += b;
+    return a;
+  }
+};
+
+struct SimTime {
+  double cycles = 0.0;
+  double ms = 0.0;
+};
+
+// Converts counters to time. `occupancy` in (0, 1] scales the device's
+// latency-hiding ability: the parallel portion of the cost divides by
+// (sm_count * occupancy). Launch and barrier overheads are serial.
+SimTime EstimateTime(const CostCounters& c, const DeviceSpec& device,
+                     double occupancy);
+
+// Convenience: occupancy derived from the kernel's register footprint.
+SimTime EstimateTime(const CostCounters& c, const DeviceSpec& device,
+                     const KernelResources& kernel);
+
+std::string ToString(const CostCounters& c);
+
+}  // namespace simdx
+
+#endif  // SIMDX_SIMT_COST_MODEL_H_

@@ -1,0 +1,50 @@
+#include "simt/device.h"
+
+namespace simdx {
+
+DeviceSpec MakeK20() {
+  DeviceSpec d;
+  d.name = "K20";
+  d.sm_count = 13;
+  d.registers_per_sm = 32768;  // per the paper's Section 5
+  d.max_threads_per_sm = 2048;
+  d.max_ctas_per_sm = 16;
+  d.global_memory_bytes = 5ull * 1024 * 1024 * 1024;
+  d.clock_ghz = 0.706;
+  d.mem_bandwidth_scale = 1.0;
+  return d;
+}
+
+DeviceSpec MakeK40() {
+  DeviceSpec d;
+  d.name = "K40";
+  d.sm_count = 15;
+  d.registers_per_sm = 65536;
+  d.max_threads_per_sm = 2048;
+  d.max_ctas_per_sm = 16;
+  d.global_memory_bytes = 12ull * 1024 * 1024 * 1024;
+  d.clock_ghz = 0.745;
+  // 288 GB/s vs K20's 208 GB/s, net of the clock difference (the
+  // cycle->time conversion already applies the clock).
+  d.mem_bandwidth_scale = 1.31;
+  return d;
+}
+
+DeviceSpec MakeP100() {
+  DeviceSpec d;
+  d.name = "P100";
+  d.sm_count = 56;
+  d.registers_per_sm = 65536;
+  d.max_threads_per_sm = 2048;
+  d.max_ctas_per_sm = 32;
+  d.global_memory_bytes = 16ull * 1024 * 1024 * 1024;
+  d.clock_ghz = 1.328;
+  // HBM2: 732 GB/s vs 208, net of the 1.88x clock difference.
+  d.mem_bandwidth_scale = 1.86;
+  // Pascal launches and barriers are also cheaper in device cycles.
+  d.kernel_launch_cycles = 6000.0;
+  d.barrier_cycles = 900.0;
+  return d;
+}
+
+}  // namespace simdx

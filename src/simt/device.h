@@ -1,0 +1,59 @@
+// Device models for the GPUs the paper evaluates on (K20, K40, P100).
+//
+// The simulator does not model silicon timing; it models the *resources and
+// event costs* the paper's arguments depend on: streaming-multiprocessor
+// count and register file size (occupancy, Eq. 1 and Table 2), global memory
+// capacity (the OOM rows of Table 4), and relative costs of coalesced
+// versus scattered memory traffic, atomics, kernel launches, and barrier
+// crossings (Figures 5, 12, 13).
+#ifndef SIMDX_SIMT_DEVICE_H_
+#define SIMDX_SIMT_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace simdx {
+
+struct DeviceSpec {
+  std::string name;
+  uint32_t sm_count = 0;
+  uint32_t registers_per_sm = 0;     // 32-bit registers per SM(X)
+  uint32_t max_threads_per_sm = 0;
+  uint32_t max_ctas_per_sm = 0;
+  uint32_t warp_size = 32;
+  size_t global_memory_bytes = 0;
+
+  // --- cost-model parameters (cycles per event, per executing unit) ---
+  // One 128-byte coalesced transaction serving a full warp.
+  double coalesced_txn_cycles = 4.0;
+  // One scattered (uncoalesced) 32-bit access: a whole transaction for one
+  // word.
+  double scattered_word_cycles = 4.0;
+  // Marginal cost of a device-memory atomic over a plain store (much of the
+  // atomic's latency hides behind the memory access the update needs
+  // anyway); contention multiplies this.
+  double atomic_base_cycles = 10.0;
+  // Simple ALU op throughput (per warp-instruction).
+  double alu_op_cycles = 0.25;
+  // Host-side kernel launch overhead, expressed in device cycles.
+  double kernel_launch_cycles = 8000.0;
+  // One crossing of the in-kernel software global barrier.
+  double barrier_cycles = 1200.0;
+  // Core clock, used only to convert simulated cycles to milliseconds.
+  double clock_ghz = 0.7;
+  // Relative DRAM bandwidth scale (K20 = 1.0); divides memory-event costs.
+  double mem_bandwidth_scale = 1.0;
+
+  uint32_t max_warps_per_sm() const { return max_threads_per_sm / warp_size; }
+};
+
+// Presets matching the paper's testbeds. Register-file sizes follow the
+// paper's Section 5 text (65,536 registers per SMX on K40, 32,768 on K20).
+DeviceSpec MakeK20();
+DeviceSpec MakeK40();
+DeviceSpec MakeP100();
+
+}  // namespace simdx
+
+#endif  // SIMDX_SIMT_DEVICE_H_

@@ -1,0 +1,35 @@
+#include "simt/occupancy.h"
+
+#include <algorithm>
+
+namespace simdx {
+
+uint32_t MaxResidentCtasPerSm(const DeviceSpec& device, const KernelResources& kernel) {
+  if (kernel.registers_per_thread == 0 || kernel.threads_per_cta == 0) {
+    return 0;
+  }
+  const uint32_t by_registers =
+      device.registers_per_sm /
+      (kernel.registers_per_thread * kernel.threads_per_cta);
+  const uint32_t by_threads = device.max_threads_per_sm / kernel.threads_per_cta;
+  const uint32_t by_cap = device.max_ctas_per_sm;
+  return std::min({by_registers, by_threads, by_cap});
+}
+
+uint32_t MaxResidentCtas(const DeviceSpec& device, const KernelResources& kernel) {
+  return MaxResidentCtasPerSm(device, kernel) * device.sm_count;
+}
+
+double OccupancyFraction(const DeviceSpec& device, const KernelResources& kernel) {
+  const uint32_t ctas = MaxResidentCtasPerSm(device, kernel);
+  const uint32_t warps_per_cta =
+      (kernel.threads_per_cta + device.warp_size - 1) / device.warp_size;
+  const double resident_warps = static_cast<double>(ctas) * warps_per_cta;
+  const double max_warps = device.max_warps_per_sm();
+  if (max_warps <= 0.0) {
+    return 0.0;
+  }
+  return std::min(1.0, resident_warps / max_warps);
+}
+
+}  // namespace simdx

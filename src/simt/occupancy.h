@@ -1,0 +1,36 @@
+// The occupancy calculator behind the paper's Equation 1: how many CTAs can
+// be co-resident given a kernel's register consumption. This number is both
+// (a) the only safe grid size for the in-kernel global barrier and (b) the
+// throughput scale of the cost model (more resident warps = more latency
+// hiding).
+#ifndef SIMDX_SIMT_OCCUPANCY_H_
+#define SIMDX_SIMT_OCCUPANCY_H_
+
+#include <cstdint>
+
+#include "simt/device.h"
+
+namespace simdx {
+
+struct KernelResources {
+  uint32_t registers_per_thread = 32;
+  uint32_t threads_per_cta = 128;  // paper default
+};
+
+// Equation 1 plus the hardware caps nvcc applies:
+//   floor(registersPerSMX / (registersPerThread * threadsPerCTA))
+// clamped by max threads per SM and max CTAs per SM, times #SMX.
+uint32_t MaxResidentCtas(const DeviceSpec& device, const KernelResources& kernel);
+
+// Resident CTAs on ONE SM (the per-SM factor of Eq. 1).
+uint32_t MaxResidentCtasPerSm(const DeviceSpec& device, const KernelResources& kernel);
+
+// Resident warps / maximum warps, in [0, 1]. Scales effective throughput in
+// the cost model: a 110-register kernel on K40 runs at less than half the
+// occupancy of a 48-register one — the root cause of Figure 13's
+// all-fusion slowdown.
+double OccupancyFraction(const DeviceSpec& device, const KernelResources& kernel);
+
+}  // namespace simdx
+
+#endif  // SIMDX_SIMT_OCCUPANCY_H_

@@ -1,0 +1,120 @@
+// Warp-level lane primitives with CUDA semantics, executed deterministically
+// on the host. The ballot filter (Section 4) and the ACC combine step
+// (Section 3) are written against these, so the reproduced code paths match
+// the kernels the paper describes: __ballot(), __shfl_down-style reductions,
+// and warp-wide inclusive scans.
+#ifndef SIMDX_SIMT_WARP_H_
+#define SIMDX_SIMT_WARP_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace simdx {
+
+inline constexpr uint32_t kWarpSize = 32;
+inline constexpr uint32_t kFullMask = 0xffffffffu;
+
+// __ballot_sync: bit i of the result is lane i's predicate. Lanes beyond
+// `pred.size()` contribute 0 (inactive lanes).
+inline uint32_t WarpBallot(std::span<const bool> pred) {
+  uint32_t mask = 0;
+  const uint32_t lanes = pred.size() < kWarpSize
+                             ? static_cast<uint32_t>(pred.size())
+                             : kWarpSize;
+  for (uint32_t lane = 0; lane < lanes; ++lane) {
+    if (pred[lane]) {
+      mask |= (1u << lane);
+    }
+  }
+  return mask;
+}
+
+inline bool WarpAny(std::span<const bool> pred) { return WarpBallot(pred) != 0; }
+
+inline bool WarpAll(std::span<const bool> pred) {
+  const uint32_t lanes = pred.size() < kWarpSize
+                             ? static_cast<uint32_t>(pred.size())
+                             : kWarpSize;
+  if (lanes == 0) {
+    return true;
+  }
+  const uint32_t expect = lanes == kWarpSize ? kFullMask : ((1u << lanes) - 1);
+  return WarpBallot(pred) == expect;
+}
+
+inline uint32_t PopCount(uint32_t mask) { return std::popcount(mask); }
+
+// Lane index of the n-th set bit (0-based), or kWarpSize if fewer than n+1
+// bits are set. Matches the __fns() intrinsic used to compact ballots.
+inline uint32_t NthSetLane(uint32_t mask, uint32_t n) {
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    if (mask & (1u << lane)) {
+      if (n == 0) {
+        return lane;
+      }
+      --n;
+    }
+  }
+  return kWarpSize;
+}
+
+// Tree reduction over the active lanes, identical in shape to the
+// __shfl_down_sync loop every warp-level Combine uses. `op` must be
+// commutative and associative (the ACC contract).
+template <typename T, typename Op>
+T WarpReduce(std::span<const T> lanes, Op op, T identity) {
+  std::array<T, kWarpSize> buf;
+  buf.fill(identity);
+  const uint32_t n = lanes.size() < kWarpSize ? static_cast<uint32_t>(lanes.size())
+                                              : kWarpSize;
+  for (uint32_t i = 0; i < n; ++i) {
+    buf[i] = lanes[i];
+  }
+  for (uint32_t offset = kWarpSize / 2; offset > 0; offset /= 2) {
+    for (uint32_t lane = 0; lane < offset; ++lane) {
+      buf[lane] = op(buf[lane], buf[lane + offset]);
+    }
+  }
+  return buf[0];
+}
+
+// Hillis–Steele inclusive scan across the warp (the shape of the intra-warp
+// prefix sums the filters use to compute output offsets without atomics).
+template <typename T, typename Op>
+std::array<T, kWarpSize> WarpInclusiveScan(std::span<const T> lanes, Op op,
+                                           T identity) {
+  std::array<T, kWarpSize> buf;
+  buf.fill(identity);
+  const uint32_t n = lanes.size() < kWarpSize ? static_cast<uint32_t>(lanes.size())
+                                              : kWarpSize;
+  for (uint32_t i = 0; i < n; ++i) {
+    buf[i] = lanes[i];
+  }
+  for (uint32_t offset = 1; offset < kWarpSize; offset *= 2) {
+    std::array<T, kWarpSize> next = buf;
+    for (uint32_t lane = offset; lane < kWarpSize; ++lane) {
+      next[lane] = op(buf[lane - offset], buf[lane]);
+    }
+    buf = next;
+  }
+  return buf;
+}
+
+// Exclusive variant: element i is the combine of lanes [0, i).
+template <typename T, typename Op>
+std::array<T, kWarpSize> WarpExclusiveScan(std::span<const T> lanes, Op op,
+                                           T identity) {
+  const std::array<T, kWarpSize> inclusive = WarpInclusiveScan(lanes, op, identity);
+  std::array<T, kWarpSize> out;
+  out[0] = identity;
+  for (uint32_t lane = 1; lane < kWarpSize; ++lane) {
+    out[lane] = inclusive[lane - 1];
+  }
+  return out;
+}
+
+}  // namespace simdx
+
+#endif  // SIMDX_SIMT_WARP_H_

@@ -1,0 +1,136 @@
+// Algebraic-law property tests for every ACC program: the paper's Combine
+// contract requires a commutative, associative operator (Section 3.2), and
+// Apply must be monotone/idempotent where the engine relies on it (duplicate
+// frontier entries, in-place push). Violations here would corrupt results
+// silently, so they are checked as laws over random value streams.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algos/algos.h"
+#include "graph/generators.h"
+
+namespace simdx {
+namespace {
+
+template <typename Program, typename Gen>
+void CheckCombineLaws(const Program& p, Gen gen, int trials = 200) {
+  std::mt19937_64 rng(7);
+  using Value = typename Program::Value;
+  for (int t = 0; t < trials; ++t) {
+    const Value a = gen(rng);
+    const Value b = gen(rng);
+    const Value c = gen(rng);
+    EXPECT_EQ(p.Combine(a, b), p.Combine(b, a)) << "commutativity, trial " << t;
+    EXPECT_EQ(p.Combine(p.Combine(a, b), c), p.Combine(a, p.Combine(b, c)))
+        << "associativity, trial " << t;
+    // Identity is neutral.
+    EXPECT_EQ(p.Combine(a, p.CombineIdentity()), a) << "identity, trial " << t;
+  }
+}
+
+TEST(AccLawsTest, BfsCombineIsMin) {
+  BfsProgram p;
+  CheckCombineLaws(p, [](std::mt19937_64& rng) {
+    return static_cast<uint32_t>(rng() % 1000);
+  });
+}
+
+TEST(AccLawsTest, SsspCombineIsMin) {
+  SsspProgram p;
+  CheckCombineLaws(p, [](std::mt19937_64& rng) {
+    return static_cast<uint32_t>(rng() % 100000);
+  });
+}
+
+TEST(AccLawsTest, WccCombineIsMin) {
+  const Graph g = Graph::FromEdges(GenerateChain(4), false);
+  WccProgram p;
+  p.graph = &g;
+  CheckCombineLaws(p, [](std::mt19937_64& rng) {
+    return static_cast<uint32_t>(rng() % 4);
+  });
+}
+
+TEST(AccLawsTest, KCoreCombineIsSum) {
+  const Graph g = Graph::FromEdges(GenerateChain(4), false);
+  KCoreProgram p;
+  p.graph = &g;
+  CheckCombineLaws(p, [](std::mt19937_64& rng) {
+    return KCoreValue{static_cast<uint32_t>(rng() % 8), false};
+  });
+}
+
+// Floating-point sums: associativity holds only up to rounding; check with
+// tolerance instead of exact equality.
+TEST(AccLawsTest, PageRankCombineIsSumWithinRounding) {
+  const Graph g = Graph::FromEdges(GenerateChain(4), false);
+  PageRankProgram p;
+  p.graph = &g;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (int t = 0; t < 200; ++t) {
+    const PageRankValue a{0.0, uni(rng)};
+    const PageRankValue b{0.0, uni(rng)};
+    const PageRankValue c{0.0, uni(rng)};
+    EXPECT_DOUBLE_EQ(p.Combine(a, b).residual, p.Combine(b, a).residual);
+    EXPECT_NEAR(p.Combine(p.Combine(a, b), c).residual,
+                p.Combine(a, p.Combine(b, c)).residual, 1e-12);
+  }
+}
+
+// Apply idempotence for the min-family: re-applying the same combined update
+// must be a no-op (duplicate frontier entries are harmless).
+TEST(AccLawsTest, MinApplyIsIdempotent) {
+  BfsProgram bfs;
+  SsspProgram sssp;
+  std::mt19937_64 rng(13);
+  for (int t = 0; t < 200; ++t) {
+    const uint32_t old_value = rng() % 1000;
+    const uint32_t update = rng() % 1000;
+    const uint32_t once = bfs.Apply(0, update, old_value, Direction::kPush);
+    EXPECT_EQ(bfs.Apply(0, update, once, Direction::kPush), once);
+    const uint32_t s_once = sssp.Apply(0, update, old_value, Direction::kPush);
+    EXPECT_EQ(sssp.Apply(0, update, s_once, Direction::kPush), s_once);
+  }
+}
+
+// k-Core's freeze: once removed, no sequence of updates changes the value —
+// the guarantee that a removed vertex never re-sends its removal.
+TEST(AccLawsTest, KCoreFreezeIsAbsorbing) {
+  const Graph g = Graph::FromEdges(GenerateStar(8), false);
+  KCoreProgram p;
+  p.graph = &g;
+  p.k = 4;
+  const KCoreValue removed{2, true};
+  std::mt19937_64 rng(17);
+  for (int t = 0; t < 100; ++t) {
+    const KCoreValue update{static_cast<uint32_t>(rng() % 4), false};
+    EXPECT_EQ(p.Apply(1, update, removed, Direction::kPush), removed);
+    EXPECT_EQ(p.Apply(1, update, removed, Direction::kPull), removed);
+  }
+}
+
+// Compute must be direction-independent for the symmetric programs (the
+// engine may evaluate the same edge in push or pull mode across iterations).
+TEST(AccLawsTest, ComputeDirectionIndependentForTraversals) {
+  BfsProgram bfs;
+  SsspProgram sssp;
+  for (uint32_t v = 0; v < 50; ++v) {
+    EXPECT_EQ(bfs.Compute(0, 1, 3, v, Direction::kPush),
+              bfs.Compute(0, 1, 3, v, Direction::kPull));
+    EXPECT_EQ(sssp.Compute(0, 1, 3, v, Direction::kPush),
+              sssp.Compute(0, 1, 3, v, Direction::kPull));
+  }
+}
+
+// Saturation: unreached sources must contribute the identity, never wrap.
+TEST(AccLawsTest, InfinityNeverWraps) {
+  BfsProgram bfs;
+  SsspProgram sssp;
+  EXPECT_EQ(bfs.Compute(0, 1, 1, kInfinity, Direction::kPush), kInfinity);
+  EXPECT_EQ(sssp.Compute(0, 1, 64, kInfinity, Direction::kPush), kInfinity);
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,79 @@
+#include "algos/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+EngineOptions TestOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 128;
+  return o;
+}
+
+TEST(BfsTest, MatchesOracleOnShapes) {
+  for (const EdgeList& shape :
+       {GenerateChain(64), GenerateStar(64), GenerateBinaryTree(6),
+        GenerateComplete(20), GenerateGridRoad(20, 20, 1)}) {
+    const Graph g = Graph::FromEdges(shape, false);
+    const auto result = RunBfs(g, 0, MakeK40(), TestOptions());
+    ASSERT_TRUE(result.stats.ok());
+    EXPECT_EQ(result.values, CpuBfsLevels(g, 0));
+  }
+}
+
+TEST(BfsTest, DirectedGraphRespectsEdgeOrientation) {
+  const Graph g = Graph::FromEdges(GenerateChain(10), /*directed=*/true);
+  const auto from_tail = RunBfs(g, 9, MakeK40(), TestOptions());
+  EXPECT_EQ(from_tail.values[9], 0u);
+  EXPECT_EQ(from_tail.values[0], kInfinity) << "no back edges in directed chain";
+}
+
+TEST(BfsTest, DirectionSwitchesToPullOnDenseFrontier) {
+  // Social-class preset: the middle of the traversal floods the graph.
+  const Graph g = LoadPreset("OR");
+  const auto result = RunBfs(g, 0, MakeK40(), TestOptions());
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_NE(result.stats.direction_pattern.find('P'), std::string::npos)
+      << "expected at least one pull iteration, got "
+      << result.stats.direction_pattern;
+  EXPECT_EQ(result.stats.direction_pattern.front(), 'p') << "BFS starts pushing";
+}
+
+TEST(BfsTest, RoadGraphStaysPushAndOnline) {
+  const Graph g = LoadPreset("RC");
+  const auto result = RunBfs(g, 0, MakeK40(), TestOptions());
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.stats.direction_pattern.find('P'), std::string::npos)
+      << "thin road frontiers never justify pull";
+  EXPECT_EQ(result.stats.filter_pattern.find('B'), std::string::npos)
+      << "Figure 8: high-diameter graphs use the online filter throughout";
+  EXPECT_GT(result.stats.iterations, 100u) << "high diameter = many levels";
+}
+
+TEST(BfsTest, MatchesOracleOnAllPresets) {
+  for (const PresetInfo& info : AllPresets()) {
+    const Graph g = LoadPreset(info.abbrev);
+    const auto result = RunBfs(g, 0, MakeK40(), TestOptions());
+    ASSERT_TRUE(result.stats.ok()) << info.abbrev;
+    EXPECT_EQ(result.values, CpuBfsLevels(g, 0)) << info.abbrev;
+  }
+}
+
+TEST(BfsTest, SourceOutOfNowhereVisitsOnlyItself) {
+  const Graph g = Graph::FromEdges(GenerateChain(5), false, 8);
+  const auto result = RunBfs(g, 7, MakeK40(), TestOptions());
+  EXPECT_EQ(result.values[7], 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(result.values[v], kInfinity);
+  }
+}
+
+}  // namespace
+}  // namespace simdx

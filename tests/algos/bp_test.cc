@@ -1,0 +1,77 @@
+#include "algos/bp.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+EngineOptions TestOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 32;
+  return o;
+}
+
+TEST(BpTest, MatchesJacobiOracle) {
+  const Graph g = Graph::FromEdges(GenerateRmat(8, 8, 2), false);
+  const auto result = RunBp(g, 10, MakeK40(), TestOptions());
+  ASSERT_TRUE(result.stats.ok());
+  const auto oracle = CpuBp(g, 10);
+  ASSERT_EQ(result.values.size(), oracle.size());
+  for (size_t v = 0; v < oracle.size(); ++v) {
+    EXPECT_NEAR(result.values[v], oracle[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(BpTest, RunsExactlyRequestedRounds) {
+  const Graph g = Graph::FromEdges(GenerateGridRoad(10, 10, 1), false);
+  const auto result = RunBp(g, 7, MakeK40(), TestOptions());
+  EXPECT_EQ(result.stats.iterations, 7u);
+}
+
+TEST(BpTest, AllIterationsArePull) {
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 6, 4), false);
+  const auto result = RunBp(g, 5, MakeK40(), TestOptions());
+  for (char dir : result.stats.direction_pattern) {
+    EXPECT_EQ(dir, 'P');
+  }
+}
+
+TEST(BpTest, FrontierStaticAfterFirstIteration) {
+  // Pattern: one real filter build (ballot: every vertex active) then '='
+  // reuse — "BP ... need the ballot filter at exactly the first iteration".
+  const Graph g = LoadPreset("PK");
+  const auto result = RunBp(g, 5, MakeK40(), TestOptions());
+  ASSERT_GE(result.stats.filter_pattern.size(), 2u);
+  EXPECT_EQ(result.stats.filter_pattern.front(), 'B');
+  for (size_t i = 1; i < result.stats.filter_pattern.size(); ++i) {
+    EXPECT_EQ(result.stats.filter_pattern[i], '=');
+  }
+}
+
+TEST(BpTest, BeliefsConvergeWithMoreRounds) {
+  const Graph g = Graph::FromEdges(GenerateRmat(8, 8, 5), false);
+  const auto r20 = RunBp(g, 20, MakeK40(), TestOptions());
+  const auto r21 = RunBp(g, 21, MakeK40(), TestOptions());
+  double max_delta = 0.0;
+  for (size_t v = 0; v < r20.values.size(); ++v) {
+    max_delta = std::max(max_delta, std::abs(r20.values[v] - r21.values[v]));
+  }
+  EXPECT_LT(max_delta, 1e-4) << "damped messages must be contracting";
+}
+
+TEST(BpTest, IsolatedVertexKeepsPrior) {
+  const Graph g = Graph::FromEdges(GenerateChain(3), false, /*vertex_count=*/5);
+  const auto result = RunBp(g, 5, MakeK40(), TestOptions());
+  BpProgram reference;
+  reference.graph = &g;
+  EXPECT_DOUBLE_EQ(result.values[4], reference.Prior(4));
+}
+
+}  // namespace
+}  // namespace simdx

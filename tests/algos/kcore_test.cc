@@ -1,0 +1,119 @@
+#include "algos/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+EngineOptions TestOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 128;
+  return o;
+}
+
+void ExpectRemovedMatch(const std::vector<KCoreValue>& got,
+                        const std::vector<bool>& expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t v = 0; v < got.size(); ++v) {
+    EXPECT_EQ(got[v].removed, expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(KCoreTest, CompleteGraphSurvivesSmallK) {
+  const Graph g = Graph::FromEdges(GenerateComplete(10), false);  // degree 9
+  const auto result = RunKCore(g, 5, MakeK40(), TestOptions());
+  ASSERT_TRUE(result.stats.ok());
+  for (const auto& value : result.values) {
+    EXPECT_FALSE(value.removed);
+  }
+}
+
+TEST(KCoreTest, CompleteGraphDissolvesAtLargeK) {
+  const Graph g = Graph::FromEdges(GenerateComplete(10), false);
+  const auto result = RunKCore(g, 10, MakeK40(), TestOptions());
+  for (const auto& value : result.values) {
+    EXPECT_TRUE(value.removed);
+  }
+}
+
+TEST(KCoreTest, ChainCascades) {
+  // A chain has max core number 1: k=2 peels from the endpoints inward and
+  // removes everything, exercising the cascade over many iterations.
+  const Graph g = Graph::FromEdges(GenerateChain(40), false);
+  const auto result = RunKCore(g, 2, MakeK40(), TestOptions());
+  ASSERT_TRUE(result.stats.ok());
+  for (const auto& value : result.values) {
+    EXPECT_TRUE(value.removed);
+  }
+  EXPECT_GT(result.stats.iterations, 10u) << "peeling proceeds layer by layer";
+}
+
+TEST(KCoreTest, MatchesOracleOnShapes) {
+  for (uint32_t k : {2u, 3u, 8u, 16u}) {
+    for (const EdgeList& shape :
+         {GenerateRmat(9, 8, 5), GenerateGridRoad(20, 20, 6), GenerateStar(64)}) {
+      const Graph g = Graph::FromEdges(shape, false);
+      const auto result = RunKCore(g, k, MakeK40(), TestOptions());
+      ASSERT_TRUE(result.stats.ok());
+      ExpectRemovedMatch(result.values, CpuKCoreRemoved(g, k));
+    }
+  }
+}
+
+TEST(KCoreTest, MatchesOracleOnAllPresetsAtPaperK) {
+  for (const PresetInfo& info : AllPresets()) {
+    const Graph g = LoadPreset(info.abbrev);
+    const auto result = RunKCore(g, 16, MakeK40(), TestOptions());
+    ASSERT_TRUE(result.stats.ok()) << info.abbrev;
+    ExpectRemovedMatch(result.values, CpuKCoreRemoved(g, 16));
+  }
+}
+
+TEST(KCoreTest, HeavyFirstIterationUsesBallot) {
+  // "k-Core activates the ballot filter at the initial iterations" (Fig. 8):
+  // a skewed graph with k=16 removes a large fraction immediately.
+  const Graph g = LoadPreset("FB");
+  EngineOptions o = TestOptions();
+  o.sim_worker_threads = 64;
+  const auto result = RunKCore(g, 16, MakeK40(), o);
+  ASSERT_TRUE(result.stats.ok());
+  ASSERT_FALSE(result.stats.filter_pattern.empty());
+  EXPECT_EQ(result.stats.filter_pattern.front(), 'B')
+      << "pattern: " << result.stats.filter_pattern;
+}
+
+TEST(KCoreTest, RoadGraphLowDegreeRemovesEverythingAtK16) {
+  // "RC ... only experiences one iteration because all its vertices have
+  // < 16 neighbors" (Section 4).
+  const Graph g = LoadPreset("RC");
+  const auto result = RunKCore(g, 16, MakeK40(), TestOptions());
+  ASSERT_TRUE(result.stats.ok());
+  for (const auto& value : result.values) {
+    EXPECT_TRUE(value.removed);
+  }
+  EXPECT_LE(result.stats.iterations, 3u);
+}
+
+TEST(KCoreTest, SurvivorDegreesAreAtLeastK) {
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 12, 8), false);
+  const uint32_t k = 8;
+  const auto result = RunKCore(g, k, MakeK40(), TestOptions());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!result.values[v].removed) {
+      uint32_t live_neighbors = 0;
+      for (VertexId u : g.out().Neighbors(v)) {
+        live_neighbors += !result.values[u].removed;
+      }
+      EXPECT_GE(live_neighbors, k) << "vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simdx

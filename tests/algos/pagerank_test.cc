@@ -1,0 +1,89 @@
+#include "algos/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+EngineOptions TestOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 128;
+  o.max_iterations = 20000;
+  return o;
+}
+
+void ExpectRanksMatch(const std::vector<PageRankValue>& got,
+                      const std::vector<double>& expected, double tol) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t v = 0; v < got.size(); ++v) {
+    EXPECT_NEAR(got[v].rank, expected[v], tol) << "vertex " << v;
+  }
+}
+
+TEST(PageRankTest, MatchesPowerIterationOnSmallGraph) {
+  const Graph g = Graph::FromEdges(GenerateComplete(8), false);
+  const auto result = RunPageRank(g, MakeK40(), TestOptions(), 1e-12);
+  ASSERT_TRUE(result.stats.ok());
+  ExpectRanksMatch(result.values, CpuPageRank(g), 1e-8);
+}
+
+TEST(PageRankTest, CompleteGraphIsUniform) {
+  const Graph g = Graph::FromEdges(GenerateComplete(10), false);
+  const auto result = RunPageRank(g, MakeK40(), TestOptions(), 1e-12);
+  for (const auto& value : result.values) {
+    EXPECT_NEAR(value.rank, result.values[0].rank, 1e-10);
+  }
+}
+
+TEST(PageRankTest, MatchesPowerIterationOnSkewedGraph) {
+  const Graph g = Graph::FromEdges(GenerateRmat(9, 8, 3), false);
+  const auto result = RunPageRank(g, MakeK40(), TestOptions(), 1e-12);
+  ASSERT_TRUE(result.stats.ok());
+  ExpectRanksMatch(result.values, CpuPageRank(g), 1e-7);
+}
+
+TEST(PageRankTest, DirectedGraphMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateRmat(8, 6, 9), true);
+  const auto result = RunPageRank(g, MakeK40(), TestOptions(), 1e-12);
+  ASSERT_TRUE(result.stats.ok());
+  ExpectRanksMatch(result.values, CpuPageRank(g), 1e-7);
+}
+
+TEST(PageRankTest, StartsPullSwitchesToPush) {
+  // Section 6: "we start PageRank with the pull model ... At the end of
+  // PageRank, we switch to the push model".
+  const Graph g = LoadPreset("PK");
+  const auto result = RunPageRank(g, MakeK40(), TestOptions(), 1e-10);
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.stats.direction_pattern.front(), 'P');
+  EXPECT_EQ(result.stats.direction_pattern.back(), 'p');
+}
+
+TEST(PageRankTest, HubOutranksLeavesOnStar) {
+  const Graph g = Graph::FromEdges(GenerateStar(50), false);
+  const auto result = RunPageRank(g, MakeK40(), TestOptions(), 1e-12);
+  for (VertexId v = 1; v <= 50; ++v) {
+    EXPECT_GT(result.values[0].rank, result.values[v].rank);
+  }
+}
+
+TEST(PageRankTest, ResidualsDrainedAtConvergence) {
+  const Graph g = Graph::FromEdges(GenerateRmat(8, 8, 1), false);
+  const double eps = 1e-10;
+  const auto result = RunPageRank(g, MakeK40(), TestOptions(), eps);
+  ASSERT_TRUE(result.stats.converged);
+  for (const auto& value : result.values) {
+    EXPECT_LE(value.residual, eps);
+  }
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,106 @@
+#include "algos/scc.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+EngineOptions TestOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 64;
+  return o;
+}
+
+TEST(SccTest, DirectedChainIsAllSingletons) {
+  const Graph g = Graph::FromEdges(GenerateChain(8), /*directed=*/true);
+  const auto scc = RunScc(g, MakeK40(), TestOptions());
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(scc[v], v) << "no cycles: every vertex is its own SCC";
+  }
+}
+
+TEST(SccTest, DirectedCycleIsOneComponent) {
+  EdgeList list;
+  for (VertexId v = 0; v < 6; ++v) {
+    list.Add(v, (v + 1) % 6);
+  }
+  const Graph g = Graph::FromEdges(list, true);
+  const auto scc = RunScc(g, MakeK40(), TestOptions());
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(scc[v], 5u) << "component id is the largest member";
+  }
+}
+
+TEST(SccTest, TwoCyclesJoinedByOneWayBridge) {
+  EdgeList list;
+  // Cycle {0,1,2}, cycle {3,4,5}, bridge 2 -> 3 (one direction only).
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);
+  list.Add(3, 4);
+  list.Add(4, 5);
+  list.Add(5, 3);
+  list.Add(2, 3);
+  const Graph g = Graph::FromEdges(list, true);
+  const auto scc = RunScc(g, MakeK40(), TestOptions());
+  EXPECT_EQ(scc[0], scc[1]);
+  EXPECT_EQ(scc[1], scc[2]);
+  EXPECT_EQ(scc[3], scc[4]);
+  EXPECT_EQ(scc[4], scc[5]);
+  EXPECT_NE(scc[0], scc[3]) << "bridge is not part of any cycle";
+}
+
+TEST(SccTest, MatchesTarjanOnRandomDigraphs) {
+  for (uint64_t seed : {3ull, 17ull, 99ull}) {
+    const Graph g =
+        Graph::FromEdges(GenerateUniformRandom(300, 900, seed), true, 300);
+    const auto scc = RunScc(g, MakeK40(), TestOptions());
+    EXPECT_EQ(scc, CpuSccLabels(g)) << "seed " << seed;
+  }
+}
+
+TEST(SccTest, MatchesTarjanOnSkewedDigraphs) {
+  for (uint64_t seed : {5ull, 21ull}) {
+    const Graph g = Graph::FromEdges(GenerateRmat(8, 4, seed), true);
+    const auto scc = RunScc(g, MakeK40(), TestOptions());
+    EXPECT_EQ(scc, CpuSccLabels(g)) << "seed " << seed;
+  }
+}
+
+TEST(SccTest, MatchesTarjanOnDirectedPresets) {
+  for (const char* name : {"LJ", "PK"}) {
+    const Graph g = LoadPreset(name);
+    const auto scc = RunScc(g, MakeK40(), TestOptions());
+    EXPECT_EQ(scc, CpuSccLabels(g)) << name;
+  }
+}
+
+TEST(SccTest, UndirectedGraphDegeneratesToConnectivity) {
+  const Graph g = Graph::FromEdges(GenerateGridRoad(8, 8, 1), false);
+  const auto scc = RunScc(g, MakeK40(), TestOptions());
+  for (VertexId v = 1; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(scc[v], scc[0]);
+  }
+}
+
+TEST(SccTest, StatsAccumulateAcrossRounds) {
+  const Graph g = Graph::FromEdges(GenerateUniformRandom(200, 600, 8), true, 200);
+  RunStats stats;
+  RunScc(g, MakeK40(), TestOptions(), &stats);
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.time.ms, 0.0);
+  EXPECT_GT(stats.total_edges_processed, 0u);
+}
+
+TEST(SccTest, EmptyGraph) {
+  const Graph g;
+  EXPECT_TRUE(RunScc(g, MakeK40(), TestOptions()).empty());
+}
+
+}  // namespace
+}  // namespace simdx

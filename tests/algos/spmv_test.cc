@@ -1,0 +1,70 @@
+#include "algos/spmv.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+EngineOptions TestOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 64;
+  return o;
+}
+
+std::vector<double> Ones(VertexId n) { return std::vector<double>(n, 1.0); }
+
+TEST(SpmvTest, MatchesOracleOnWeightedGraph) {
+  const Graph g = Graph::FromEdges(GenerateRmat(8, 8, 3), false);
+  std::vector<double> x(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    x[v] = 0.25 * v;
+  }
+  const auto result = RunSpmv(g, x, MakeK40(), TestOptions());
+  ASSERT_TRUE(result.stats.ok());
+  const auto oracle = CpuSpmv(g, x);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_NEAR(result.values[v].y, oracle[v], 1e-9) << "row " << v;
+  }
+}
+
+TEST(SpmvTest, OnesVectorGivesWeightedDegree) {
+  const Graph g = Graph::FromEdges(GenerateChain(5), false);
+  const auto result = RunSpmv(g, Ones(5), MakeK40(), TestOptions());
+  // Row v sums the weights of its in-edges (all 1 on a chain).
+  EXPECT_NEAR(result.values[0].y, 1.0, 1e-12);
+  EXPECT_NEAR(result.values[1].y, 2.0, 1e-12);
+  EXPECT_NEAR(result.values[4].y, 1.0, 1e-12);
+}
+
+TEST(SpmvTest, RunsExactlyOneIteration) {
+  const Graph g = Graph::FromEdges(GenerateComplete(6), false);
+  const auto result = RunSpmv(g, Ones(6), MakeK40(), TestOptions());
+  EXPECT_EQ(result.stats.iterations, 1u);
+}
+
+TEST(SpmvTest, DirectedUsesInEdges) {
+  EdgeList list;
+  list.Add(0, 1, 3);  // contributes to row 1 only
+  const Graph g = Graph::FromEdges(list, true);
+  std::vector<double> x = {2.0, 10.0};
+  const auto result = RunSpmv(g, x, MakeK40(), TestOptions());
+  EXPECT_NEAR(result.values[0].y, 0.0, 1e-12);
+  EXPECT_NEAR(result.values[1].y, 6.0, 1e-12);
+}
+
+TEST(SpmvTest, ZeroVectorGivesZero) {
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 4, 2), false);
+  const auto result =
+      RunSpmv(g, std::vector<double>(g.vertex_count(), 0.0), MakeK40(), TestOptions());
+  for (const auto& value : result.values) {
+    EXPECT_EQ(value.y, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,79 @@
+#include "algos/sssp.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+EngineOptions TestOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 128;
+  return o;
+}
+
+// The paper's Figure 1 walkthrough endpoint: final distance array.
+TEST(SsspTest, PaperFigure1Distances) {
+  const Graph g = Graph::FromEdges(PaperFigure1Graph(), false);
+  const auto result = RunSssp(g, 0, MakeK40(), TestOptions());
+  ASSERT_TRUE(result.stats.ok());
+  const std::vector<uint32_t> expected = {0, 4, 5, 1, 3, 4, 6, 7, 9};
+  EXPECT_EQ(result.values, expected);
+}
+
+TEST(SsspTest, MatchesDijkstraOnWeightedShapes) {
+  EdgeList grid = GenerateGridRoad(15, 15, 3);
+  EdgeList rmat = GenerateRmat(9, 8, 4);
+  for (const EdgeList& shape : {grid, rmat}) {
+    const Graph g = Graph::FromEdges(shape, false);
+    const auto result = RunSssp(g, 0, MakeK40(), TestOptions());
+    ASSERT_TRUE(result.stats.ok());
+    EXPECT_EQ(result.values, CpuDijkstra(g, 0));
+  }
+}
+
+TEST(SsspTest, MatchesDijkstraOnAllPresets) {
+  for (const PresetInfo& info : AllPresets()) {
+    const Graph g = LoadPreset(info.abbrev);
+    const auto result = RunSssp(g, 0, MakeK40(), TestOptions());
+    ASSERT_TRUE(result.stats.ok()) << info.abbrev;
+    EXPECT_EQ(result.values, CpuDijkstra(g, 0)) << info.abbrev;
+  }
+}
+
+TEST(SsspTest, DirectedWeightsRespected) {
+  EdgeList list;
+  list.Add(0, 1, 10);
+  list.Add(0, 2, 1);
+  list.Add(2, 1, 1);
+  const Graph g = Graph::FromEdges(list, true);
+  const auto result = RunSssp(g, 0, MakeK40(), TestOptions());
+  EXPECT_EQ(result.values[1], 2u) << "path through 2 beats direct edge";
+}
+
+TEST(SsspTest, MoreIterationsThanBfsOnWeightedGraph) {
+  // SSSP revisits vertices as shorter paths arrive (Figure 1: b updated at
+  // iterations 1 and 3); BFS never does.
+  const Graph g = LoadPreset("RC");
+  const auto bfs = RunBfs(g, 0, MakeK40(), TestOptions());
+  const auto sssp = RunSssp(g, 0, MakeK40(), TestOptions());
+  ASSERT_TRUE(bfs.stats.ok());
+  ASSERT_TRUE(sssp.stats.ok());
+  EXPECT_GE(sssp.stats.iterations, bfs.stats.iterations);
+  EXPECT_GT(sssp.stats.total_active, bfs.stats.total_active);
+}
+
+TEST(SsspTest, UnreachableVerticesStayInfinite) {
+  const Graph g = Graph::FromEdges(GenerateChain(5), false, 8);
+  const auto result = RunSssp(g, 0, MakeK40(), TestOptions());
+  EXPECT_EQ(result.values[6], kInfinity);
+  EXPECT_EQ(result.values[7], kInfinity);
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,84 @@
+#include "baselines/cpu_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+TEST(CpuEngineTest, LigraLikeBfsMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateRmat(9, 8, 2), false);
+  BfsProgram program;
+  const auto result = RunCpuFrontier(g, program, LigraLikeOptions());
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.values, CpuBfsLevels(g, 0));
+}
+
+TEST(CpuEngineTest, GaloisLikeSsspMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateGridRoad(15, 15, 4), false);
+  SsspProgram program;
+  const auto result = RunCpuFrontier(g, program, GaloisLikeOptions());
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.values, CpuDijkstra(g, 0));
+}
+
+TEST(CpuEngineTest, LigraUsesPullOnDenseFrontier) {
+  const Graph g = LoadPreset("OR");
+  BfsProgram program;
+  const auto result = RunCpuFrontier(g, program, LigraLikeOptions());
+  EXPECT_NE(result.stats.direction_pattern.find('P'), std::string::npos);
+}
+
+TEST(CpuEngineTest, GaloisNeverPulls) {
+  const Graph g = LoadPreset("OR");
+  BfsProgram program;
+  const auto result = RunCpuFrontier(g, program, GaloisLikeOptions());
+  EXPECT_EQ(result.stats.direction_pattern.find('P'), std::string::npos);
+}
+
+TEST(CpuEngineTest, AsynchronousSyncCostIsLower) {
+  // Same work, different sync models: on a high-iteration graph the
+  // barrier-per-iteration engine pays more (Galois's edge on road graphs).
+  const Graph g = LoadPreset("RC");
+  SsspProgram program;
+  const auto ligra = RunCpuFrontier(g, program, LigraLikeOptions());
+  const auto galois = RunCpuFrontier(g, program, GaloisLikeOptions());
+  ASSERT_TRUE(ligra.stats.ok());
+  ASSERT_TRUE(galois.stats.ok());
+  EXPECT_EQ(ligra.values, galois.values);
+}
+
+TEST(CpuEngineTest, GpuEngineBeatsCpuOnBigSocialGraph) {
+  // Table 4's headline: SIMD-X is a small multiple faster than the CPU
+  // frameworks on the social graphs.
+  const Graph g = LoadPreset("FB");
+  BfsProgram program;
+  const auto cpu = RunCpuFrontier(g, program, LigraLikeOptions());
+  const auto gpu = RunBfs(g, 0, MakeK40(), EngineOptions{});
+  ASSERT_TRUE(cpu.stats.ok());
+  ASSERT_TRUE(gpu.stats.ok());
+  EXPECT_EQ(cpu.values, gpu.values);
+  EXPECT_GT(cpu.stats.time.ms, gpu.stats.time.ms);
+}
+
+TEST(CpuEngineTest, PageRankMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateRmat(8, 8, 7), false);
+  PageRankProgram program;
+  program.graph = &g;
+  program.epsilon = 1e-12;
+  CpuEngineOptions o = LigraLikeOptions();
+  const auto result = RunCpuFrontier(g, program, o);
+  ASSERT_TRUE(result.stats.ok());
+  const auto oracle = CpuPageRank(g);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_NEAR(result.values[v].rank, oracle[v], 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,107 @@
+#include "baselines/cpu_reference.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+
+namespace simdx {
+namespace {
+
+TEST(CpuReferenceTest, BfsChainLevels) {
+  const Graph g = Graph::FromEdges(GenerateChain(6), false);
+  const auto levels = CpuBfsLevels(g, 0);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(levels[v], v);
+  }
+}
+
+TEST(CpuReferenceTest, DijkstraAgreesWithDeltaStepping) {
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    const Graph g = Graph::FromEdges(GenerateRmat(9, 8, seed), false);
+    const auto dij = CpuDijkstra(g, 0);
+    for (uint32_t delta : {1u, 4u, 16u, 1024u}) {
+      EXPECT_EQ(CpuDeltaStepping(g, 0, delta), dij)
+          << "seed " << seed << " delta " << delta;
+    }
+  }
+}
+
+TEST(CpuReferenceTest, DijkstraFigure1) {
+  const Graph g = Graph::FromEdges(PaperFigure1Graph(), false);
+  const std::vector<uint32_t> expected = {0, 4, 5, 1, 3, 4, 6, 7, 9};
+  EXPECT_EQ(CpuDijkstra(g, 0), expected);
+  EXPECT_EQ(CpuDeltaStepping(g, 0), expected);
+}
+
+TEST(CpuReferenceTest, PageRankSumsToAboutOne) {
+  // Grid road: undirected and free of isolated vertices, so no dangling
+  // mass is dropped and the ranks must sum to 1.
+  const Graph g = Graph::FromEdges(GenerateGridRoad(20, 20, 3), false);
+  const auto rank = CpuPageRank(g);
+  const double sum = std::accumulate(rank.begin(), rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(CpuReferenceTest, PageRankUniformOnRegularGraph) {
+  const Graph g = Graph::FromEdges(GenerateComplete(12), false);
+  const auto rank = CpuPageRank(g);
+  for (double r : rank) {
+    EXPECT_NEAR(r, 1.0 / 12.0, 1e-9);
+  }
+}
+
+TEST(CpuReferenceTest, KCorePeelsChain) {
+  const Graph g = Graph::FromEdges(GenerateChain(10), false);
+  const auto removed2 = CpuKCoreRemoved(g, 2);
+  EXPECT_TRUE(std::all_of(removed2.begin(), removed2.end(),
+                          [](bool r) { return r; }));
+  const auto removed1 = CpuKCoreRemoved(g, 1);
+  EXPECT_TRUE(std::none_of(removed1.begin(), removed1.end(),
+                           [](bool r) { return r; }));
+}
+
+TEST(CpuReferenceTest, KCoreKeepsClique) {
+  // K6 embedded in a path of pendants: the clique survives k=5.
+  EdgeList list = GenerateComplete(6);
+  list.Add(0, 6);
+  list.Add(6, 7);
+  const Graph g = Graph::FromEdges(list, false);
+  const auto removed = CpuKCoreRemoved(g, 5);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_FALSE(removed[v]);
+  }
+  EXPECT_TRUE(removed[6]);
+  EXPECT_TRUE(removed[7]);
+}
+
+TEST(CpuReferenceTest, WccDirectedGraphIsWeak) {
+  EdgeList list;
+  list.Add(0, 1);  // only direction 0 -> 1
+  list.Add(2, 1);
+  const Graph g = Graph::FromEdges(list, true);
+  const auto labels = CpuWccLabels(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]) << "weak connectivity ignores direction";
+}
+
+TEST(CpuReferenceTest, SpmvIdentityLikeBehaviour) {
+  EdgeList list;
+  list.Add(0, 1, 2);
+  list.Add(1, 2, 3);
+  const Graph g = Graph::FromEdges(list, true);
+  const auto y = CpuSpmv(g, {1.0, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 30.0);
+}
+
+TEST(CpuReferenceTest, BpZeroRoundsIsPrior) {
+  const Graph g = Graph::FromEdges(GenerateChain(4), false);
+  const auto beliefs = CpuBp(g, 0);
+  EXPECT_NEAR(beliefs[0], 0.1 + 0.8 * ((0 * 2654435761u % 1000) / 1000.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace simdx

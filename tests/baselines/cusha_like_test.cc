@@ -1,0 +1,92 @@
+#include "baselines/cusha_like.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+TEST(CushaLikeTest, BfsMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateRmat(9, 8, 6), false);
+  BfsProgram program;
+  const auto result = RunCushaLike(g, program, MakeK40());
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.values, CpuBfsLevels(g, 0));
+}
+
+TEST(CushaLikeTest, SsspMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateGridRoad(12, 12, 8), false);
+  SsspProgram program;
+  const auto result = RunCushaLike(g, program, MakeK40());
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.values, CpuDijkstra(g, 0));
+}
+
+TEST(CushaLikeTest, KCoreMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateRmat(9, 10, 2), false);
+  KCoreProgram program;
+  program.graph = &g;
+  program.k = 8;
+  const auto result = RunCushaLike(g, program, MakeK40());
+  ASSERT_TRUE(result.stats.ok());
+  const auto oracle = CpuKCoreRemoved(g, 8);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(result.values[v].removed, oracle[v]) << v;
+  }
+}
+
+TEST(CushaLikeTest, ProcessesFullEdgeSetEveryIteration) {
+  const Graph g = Graph::FromEdges(GenerateChain(30), false);
+  BfsProgram program;
+  const auto result = RunCushaLike(g, program, MakeK40());
+  // No task management: every iteration sweeps |E| edges.
+  EXPECT_EQ(result.stats.total_edges_processed,
+            static_cast<uint64_t>(result.stats.iterations) * g.edge_count());
+}
+
+TEST(CushaLikeTest, EdgeListFormatNeedsMoreMemoryThanCsr) {
+  const Graph g = LoadPreset("FB");
+  BfsProgram program;
+  CushaLikeOptions o;
+  o.memory_budget_bytes = g.CsrFootprintBytes() + (1u << 22);
+  const auto result = RunCushaLike(g, program, MakeK40(), o);
+  EXPECT_TRUE(result.stats.oom)
+      << "the shard format (2x edge list) exceeds a CSR-sized budget";
+}
+
+TEST(CushaLikeTest, PathologicalOnHighDiameterGraphs) {
+  // Table 4's ER blowup (480x at paper scale) in miniature: no task
+  // management means iterations x full-|E| sweeps, against SIMD-X's
+  // frontier-proportional work. At 1/1000 graph scale the per-iteration
+  // launch floor compresses the gap; direction and a solid multiple must
+  // survive (EXPERIMENTS.md discusses the scale dependence).
+  const Graph g = LoadPreset("ER");
+  SsspProgram program;
+  const auto cusha = RunCushaLike(g, program, MakeK40());
+  const auto simdx = RunSssp(g, 0, MakeK40(), EngineOptions{});
+  ASSERT_TRUE(cusha.stats.ok());
+  ASSERT_TRUE(simdx.stats.ok());
+  EXPECT_EQ(cusha.values, simdx.values);
+  EXPECT_GT(cusha.stats.time.ms, 4.0 * simdx.stats.time.ms);
+}
+
+TEST(CushaLikeTest, BpRunsFixedRounds) {
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 6, 3), false);
+  BpProgram program;
+  program.graph = &g;
+  program.max_rounds = 6;
+  const auto result = RunCushaLike(g, program, MakeK40());
+  EXPECT_EQ(result.stats.iterations, 6u);
+  const auto oracle = CpuBp(g, 6);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_NEAR(result.values[v], oracle[v], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,81 @@
+#include "baselines/gunrock_like.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "graph/generators.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+TEST(GunrockLikeTest, BfsMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateRmat(9, 8, 4), false);
+  BfsProgram program;
+  const auto result = RunGunrockLike(g, program, MakeK40());
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.values, CpuBfsLevels(g, 0));
+}
+
+TEST(GunrockLikeTest, SsspMatchesOracle) {
+  const Graph g = Graph::FromEdges(GenerateGridRoad(12, 12, 5), false);
+  SsspProgram program;
+  const auto result = RunGunrockLike(g, program, MakeK40());
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.values, CpuDijkstra(g, 0));
+}
+
+TEST(GunrockLikeTest, ChargesAtomics) {
+  const Graph g = Graph::FromEdges(GenerateRmat(9, 8, 4), false);
+  BfsProgram program;
+  const auto result = RunGunrockLike(g, program, MakeK40());
+  EXPECT_GT(result.stats.counters.atomic_ops, 0u);
+  EXPECT_GT(result.stats.counters.atomic_conflicts, 0u)
+      << "skewed graphs hammer the same destinations";
+}
+
+TEST(GunrockLikeTest, PushOnlyExecution) {
+  const Graph g = LoadPreset("OR");
+  BfsProgram program;
+  const auto result = RunGunrockLike(g, program, MakeK40());
+  EXPECT_EQ(result.stats.direction_pattern.find('P'), std::string::npos);
+}
+
+TEST(GunrockLikeTest, SlowerThanSimdxOnSkewedGraph) {
+  const Graph g = LoadPreset("KR");
+  BfsProgram program;
+  const auto gunrock = RunGunrockLike(g, program, MakeK40());
+  const auto simdx = RunBfs(g, 0, MakeK40(), EngineOptions{});
+  ASSERT_TRUE(gunrock.stats.ok());
+  ASSERT_TRUE(simdx.stats.ok());
+  EXPECT_EQ(gunrock.values, simdx.values);
+  EXPECT_GT(gunrock.stats.time.ms, simdx.stats.time.ms);
+}
+
+TEST(GunrockLikeTest, BatchFilterFootprintCausesOomOnTightBudget) {
+  const Graph g = LoadPreset("FB");
+  BfsProgram program;
+  EngineOptions o = GunrockLikeOptions();
+  // A budget the CSR fits in but the 2|E| active-edge list does not.
+  o.memory_budget_bytes = g.CsrFootprintBytes() + (1u << 22);
+  Engine<BfsProgram> engine(g, MakeK40(), o);
+  const auto result = engine.Run(program);
+  EXPECT_TRUE(result.stats.oom);
+
+  EngineOptions simdx_opts;
+  simdx_opts.memory_budget_bytes = o.memory_budget_bytes;
+  const auto simdx = Engine<BfsProgram>(g, MakeK40(), simdx_opts).Run(program);
+  EXPECT_FALSE(simdx.stats.oom) << "SIMD-X fits where the batch filter cannot";
+}
+
+TEST(GunrockLikeTest, ManyLaunchesPerRun) {
+  const Graph g = Graph::FromEdges(GenerateGridRoad(40, 10, 2), false);
+  BfsProgram program;
+  const auto result = RunGunrockLike(g, program, MakeK40());
+  EXPECT_GE(result.stats.counters.kernel_launches, result.stats.iterations);
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,101 @@
+#include "core/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+// Table 2, "no fusion": push 26/27/28/24, pull 24/24/22/30.
+TEST(FusionTest, StageRegistersMatchTable2) {
+  EXPECT_EQ(StageRegisters(Direction::kPush, KernelStage::kThread), 26u);
+  EXPECT_EQ(StageRegisters(Direction::kPush, KernelStage::kWarp), 27u);
+  EXPECT_EQ(StageRegisters(Direction::kPush, KernelStage::kCta), 28u);
+  EXPECT_EQ(StageRegisters(Direction::kPush, KernelStage::kTaskMgmt), 24u);
+  EXPECT_EQ(StageRegisters(Direction::kPull, KernelStage::kThread), 24u);
+  EXPECT_EQ(StageRegisters(Direction::kPull, KernelStage::kWarp), 24u);
+  EXPECT_EQ(StageRegisters(Direction::kPull, KernelStage::kCta), 22u);
+  EXPECT_EQ(StageRegisters(Direction::kPull, KernelStage::kTaskMgmt), 30u);
+}
+
+// Table 2, fused rows: selective 48/50, all-fusion 110.
+TEST(FusionTest, FusedRegistersMatchTable2) {
+  EXPECT_EQ(FusedRegisters(FusionPolicy::kSelective, Direction::kPush), 48u);
+  EXPECT_EQ(FusedRegisters(FusionPolicy::kSelective, Direction::kPull), 50u);
+  EXPECT_EQ(FusedRegisters(FusionPolicy::kAllFusion, Direction::kPush), 110u);
+  EXPECT_EQ(FusedRegisters(FusionPolicy::kAllFusion, Direction::kPull), 110u);
+}
+
+TEST(FusionTest, NoFusionUsesWorstStage) {
+  EXPECT_EQ(FusedRegisters(FusionPolicy::kNoFusion, Direction::kPush), 28u);
+  EXPECT_EQ(FusedRegisters(FusionPolicy::kNoFusion, Direction::kPull), 30u);
+}
+
+TEST(FusionTest, ComposeApproximatesMeasuredTotals) {
+  const uint32_t push[4] = {26, 27, 28, 24};
+  const uint32_t all[8] = {26, 27, 28, 24, 24, 24, 22, 30};
+  const uint32_t composed_push = ComposeRegisters(push, 4);
+  const uint32_t composed_all = ComposeRegisters(all, 8);
+  EXPECT_NEAR(composed_push, 48, 5);
+  EXPECT_NEAR(composed_all, 110, 11);
+}
+
+TEST(FusionAccountantTest, NoFusionLaunchesEveryStageEveryIteration) {
+  FusionAccountant acc(FusionPolicy::kNoFusion, 128);
+  const DeviceSpec d = MakeK40();
+  for (uint32_t i = 0; i < 10; ++i) {
+    const auto charge = acc.ChargeIteration(d, Direction::kPush, i, 3);
+    EXPECT_EQ(charge.launches, 4u);  // 3 compute + task management
+    EXPECT_EQ(charge.barrier_crossings, 0u);
+  }
+  EXPECT_EQ(acc.total_launches(), 40u);
+}
+
+TEST(FusionAccountantTest, SelectiveLaunchesOncePerPhase) {
+  FusionAccountant acc(FusionPolicy::kSelective, 128);
+  const DeviceSpec d = MakeK40();
+  // push, push, pull, pull, pull, push — three phases.
+  const Direction dirs[] = {Direction::kPush, Direction::kPush, Direction::kPull,
+                            Direction::kPull, Direction::kPull, Direction::kPush};
+  uint64_t launches = 0;
+  for (uint32_t i = 0; i < 6; ++i) {
+    const auto charge = acc.ChargeIteration(d, dirs[i], i, 3);
+    launches += charge.launches;
+    EXPECT_EQ(charge.barrier_crossings, 2u);
+  }
+  EXPECT_EQ(launches, 3u) << "the paper's Table 2: kernel launching count 3";
+}
+
+TEST(FusionAccountantTest, AllFusionLaunchesExactlyOnce) {
+  FusionAccountant acc(FusionPolicy::kAllFusion, 128);
+  const DeviceSpec d = MakeK40();
+  uint64_t launches = 0;
+  for (uint32_t i = 0; i < 100; ++i) {
+    const Direction dir = i % 2 ? Direction::kPull : Direction::kPush;
+    launches += acc.ChargeIteration(d, dir, i, 3).launches;
+  }
+  EXPECT_EQ(launches, 1u);
+}
+
+TEST(FusionAccountantTest, OccupancyOrderingAcrossPolicies) {
+  const DeviceSpec d = MakeK40();
+  FusionAccountant none(FusionPolicy::kNoFusion, 128);
+  FusionAccountant selective(FusionPolicy::kSelective, 128);
+  FusionAccountant all(FusionPolicy::kAllFusion, 128);
+  const double o_none = none.ChargeIteration(d, Direction::kPush, 0, 3).occupancy;
+  const double o_sel =
+      selective.ChargeIteration(d, Direction::kPush, 0, 3).occupancy;
+  const double o_all = all.ChargeIteration(d, Direction::kPush, 0, 3).occupancy;
+  EXPECT_GT(o_none, o_sel);
+  EXPECT_GT(o_sel, o_all);
+}
+
+TEST(FusionAccountantTest, EmptyStagesStillChargeTaskManagement) {
+  FusionAccountant acc(FusionPolicy::kNoFusion, 128);
+  const auto charge = acc.ChargeIteration(MakeK40(), Direction::kPush, 0, 0);
+  EXPECT_EQ(charge.launches, 1u);
+}
+
+}  // namespace
+}  // namespace simdx

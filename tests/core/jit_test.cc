@@ -1,0 +1,126 @@
+#include "core/jit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace simdx {
+namespace {
+
+constexpr uint32_t kWorkers = 4;
+constexpr uint32_t kThreshold = 4;
+
+TEST(JitTest, OnlineModeWhileBinsFit) {
+  JitController jit(FilterPolicy::kJit, kWorkers, kThreshold);
+  CostCounters c;
+  jit.RecordActivation(0, 7, c);
+  jit.RecordActivation(1, 3, c);
+  const auto frontier =
+      jit.BuildNextFrontier(100, [](VertexId) { return false; }, c);
+  EXPECT_EQ(jit.pattern(), "O");
+  // Bin concatenation order, not sorted.
+  EXPECT_EQ(frontier, (std::vector<VertexId>{7, 3}));
+  EXPECT_FALSE(jit.failed());
+}
+
+TEST(JitTest, SwitchesToBallotOnOverflow) {
+  JitController jit(FilterPolicy::kJit, /*workers=*/1, /*threshold=*/2);
+  CostCounters c;
+  for (VertexId v = 0; v < 10; ++v) {
+    jit.RecordActivation(0, v, c);  // overflows after 2
+  }
+  // The ballot scan must reconstruct the true active set from metadata.
+  const auto frontier =
+      jit.BuildNextFrontier(10, [](VertexId v) { return v < 10; }, c);
+  EXPECT_EQ(jit.pattern(), "B");
+  EXPECT_EQ(frontier.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(frontier.begin(), frontier.end()));
+  EXPECT_FALSE(jit.failed()) << "JIT recovers from overflow, online-only fails";
+}
+
+TEST(JitTest, SwitchesBackWhenVolumeDrops) {
+  JitController jit(FilterPolicy::kJit, 1, 2);
+  CostCounters c;
+  // Iteration 1: overflow -> ballot.
+  for (VertexId v = 0; v < 5; ++v) {
+    jit.RecordActivation(0, v, c);
+  }
+  jit.BuildNextFrontier(10, [](VertexId v) { return v < 5; }, c);
+  // Iteration 2: small volume again -> back to online (Figure 7's loop).
+  jit.RecordActivation(0, 9, c);
+  const auto frontier = jit.BuildNextFrontier(10, [](VertexId) { return false; }, c);
+  EXPECT_EQ(jit.pattern(), "BO");
+  EXPECT_EQ(frontier, std::vector<VertexId>{9});
+}
+
+TEST(JitTest, BallotOnlyAlwaysScans) {
+  JitController jit(FilterPolicy::kBallotOnly, kWorkers, kThreshold);
+  CostCounters c;
+  jit.RecordActivation(0, 1, c);  // ignored by policy
+  const auto frontier =
+      jit.BuildNextFrontier(64, [](VertexId v) { return v == 40; }, c);
+  EXPECT_EQ(frontier, std::vector<VertexId>{40});
+  EXPECT_EQ(jit.pattern(), "B");
+}
+
+TEST(JitTest, OnlineOnlyFailsOnOverflow) {
+  JitController jit(FilterPolicy::kOnlineOnly, 1, 2);
+  CostCounters c;
+  for (VertexId v = 0; v < 5; ++v) {
+    jit.RecordActivation(0, v, c);
+  }
+  jit.BuildNextFrontier(10, [](VertexId) { return true; }, c);
+  EXPECT_TRUE(jit.failed())
+      << "online-only drops activations on overflow: the run is invalid";
+  EXPECT_EQ(jit.pattern(), "O");
+}
+
+TEST(JitTest, OnlineOnlyFineWithinCapacity) {
+  JitController jit(FilterPolicy::kOnlineOnly, 8, 64);
+  CostCounters c;
+  for (VertexId v = 0; v < 50; ++v) {
+    jit.RecordActivation(v % 8, v, c);
+  }
+  const auto frontier = jit.BuildNextFrontier(100, [](VertexId) { return true; }, c);
+  EXPECT_FALSE(jit.failed());
+  EXPECT_EQ(frontier.size(), 50u);
+}
+
+TEST(JitTest, BatchPolicyNeverOverflows) {
+  JitController jit(FilterPolicy::kBatch, 2, 4);
+  CostCounters c;
+  for (VertexId v = 0; v < 1000; ++v) {
+    jit.RecordActivation(v % 2, v, c);
+  }
+  const auto frontier = jit.BuildNextFrontier(1000, [](VertexId) { return true; }, c);
+  EXPECT_FALSE(jit.failed());
+  EXPECT_EQ(frontier.size(), 1000u);
+  EXPECT_EQ(jit.pattern(), "A");
+}
+
+TEST(JitTest, PatternAccumulatesAcrossIterations) {
+  JitController jit(FilterPolicy::kJit, 1, 1);
+  CostCounters c;
+  jit.BuildNextFrontier(8, [](VertexId) { return false; }, c);  // O (empty)
+  jit.RecordActivation(0, 0, c);
+  jit.RecordActivation(0, 1, c);  // overflow
+  jit.BuildNextFrontier(8, [](VertexId) { return true; }, c);  // B
+  jit.BuildNextFrontier(8, [](VertexId) { return false; }, c);  // O again
+  EXPECT_EQ(jit.pattern(), "OBO");
+  EXPECT_EQ(jit.ballot_iterations(), 1u);
+  EXPECT_EQ(jit.online_iterations(), 2u);
+}
+
+TEST(JitTest, ShadowRecordingCostCappedByThreshold) {
+  JitController jit(FilterPolicy::kJit, 1, 8);
+  CostCounters c;
+  for (VertexId v = 0; v < 100000; ++v) {
+    jit.RecordActivation(0, v, c);
+  }
+  // Only the first 8 writes hit the bin; overflowed records are free — the
+  // "not on the critical path" property of Figure 9(b).
+  EXPECT_EQ(c.scattered_words, 8u);
+}
+
+}  // namespace
+}  // namespace simdx

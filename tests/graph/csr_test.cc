@@ -1,0 +1,105 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace simdx {
+namespace {
+
+TEST(CsrTest, EmptyGraph) {
+  Csr csr = Csr::FromEdges(EdgeList{});
+  EXPECT_EQ(csr.vertex_count(), 0u);
+  EXPECT_EQ(csr.edge_count(), 0u);
+  EXPECT_TRUE(csr.Validate());
+}
+
+TEST(CsrTest, BuildsFromUnsortedEdges) {
+  EdgeList list;
+  list.Add(2, 0, 5);
+  list.Add(0, 1, 3);
+  list.Add(0, 2, 4);
+  list.Add(1, 2, 7);
+  const Csr csr = Csr::FromEdges(list);
+  EXPECT_EQ(csr.vertex_count(), 3u);
+  EXPECT_EQ(csr.edge_count(), 4u);
+  EXPECT_TRUE(csr.Validate());
+  EXPECT_EQ(csr.Degree(0), 2u);
+  EXPECT_EQ(csr.Degree(1), 1u);
+  EXPECT_EQ(csr.Degree(2), 1u);
+  const auto n0 = csr.Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(csr.NeighborWeights(0)[0], 3u);
+  EXPECT_EQ(csr.NeighborWeights(0)[1], 4u);
+}
+
+TEST(CsrTest, AdjacencyRunsAreSortedByDestination) {
+  EdgeList list;
+  list.Add(0, 9);
+  list.Add(0, 3);
+  list.Add(0, 7);
+  list.Add(0, 1);
+  const Csr csr = Csr::FromEdges(list);
+  const auto nbrs = csr.Neighbors(0);
+  for (size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(CsrTest, ExplicitVertexCountCreatesIsolatedVertices) {
+  EdgeList list;
+  list.Add(0, 1);
+  const Csr csr = Csr::FromEdges(list, 10);
+  EXPECT_EQ(csr.vertex_count(), 10u);
+  EXPECT_EQ(csr.Degree(9), 0u);
+  EXPECT_TRUE(csr.Neighbors(9).empty());
+  EXPECT_TRUE(csr.Validate());
+}
+
+TEST(CsrTest, TransposeReversesEdges) {
+  EdgeList list;
+  list.Add(0, 1, 3);
+  list.Add(0, 2, 4);
+  list.Add(2, 1, 5);
+  const Csr csr = Csr::FromEdges(list);
+  const Csr t = csr.Transposed();
+  EXPECT_TRUE(t.Validate());
+  EXPECT_EQ(t.vertex_count(), csr.vertex_count());
+  EXPECT_EQ(t.edge_count(), csr.edge_count());
+  EXPECT_EQ(t.Degree(1), 2u);  // in-degree of 1
+  EXPECT_EQ(t.Degree(0), 0u);
+  const auto n1 = t.Neighbors(1);
+  EXPECT_EQ(n1[0], 0u);
+  EXPECT_EQ(n1[1], 2u);
+  EXPECT_EQ(t.NeighborWeights(1)[0], 3u);
+  EXPECT_EQ(t.NeighborWeights(1)[1], 5u);
+}
+
+TEST(CsrTest, DoubleTransposeIsIdentity) {
+  const EdgeList list = GenerateRmat(8, 8, /*seed=*/7);
+  const Csr csr = Csr::FromEdges(list);
+  const Csr back = csr.Transposed().Transposed();
+  EXPECT_EQ(back.row_offsets(), csr.row_offsets());
+  EXPECT_EQ(back.col_indices(), csr.col_indices());
+  EXPECT_EQ(back.weights(), csr.weights());
+}
+
+TEST(CsrTest, MemoryFootprintMatchesLayout) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  const Csr csr = Csr::FromEdges(list);
+  // 4 offsets * 8B + 2 cols * 4B + 2 weights * 4B
+  EXPECT_EQ(csr.MemoryFootprintBytes(), 4 * 8 + 2 * 4 + 2 * 4u);
+}
+
+TEST(CsrTest, GeneratedGraphsValidate) {
+  EXPECT_TRUE(Csr::FromEdges(GenerateRmat(10, 8, 1)).Validate());
+  EXPECT_TRUE(Csr::FromEdges(GenerateGridRoad(30, 30, 2)).Validate());
+  EXPECT_TRUE(Csr::FromEdges(GenerateUniformRandom(500, 4000, 3)).Validate());
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,104 @@
+#include "graph/edge_list.h"
+
+#include <gtest/gtest.h>
+
+namespace simdx {
+namespace {
+
+TEST(EdgeListTest, StartsEmpty) {
+  EdgeList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.MaxVertexPlusOne(), 0u);
+}
+
+TEST(EdgeListTest, AddAndIndex) {
+  EdgeList list;
+  list.Add(1, 2, 7);
+  list.Add(3, 0, 9);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], (Edge{1, 2, 7}));
+  EXPECT_EQ(list[1], (Edge{3, 0, 9}));
+  EXPECT_EQ(list.MaxVertexPlusOne(), 4u);
+}
+
+TEST(EdgeListTest, SortBySourceOrdersBySourceThenDestination) {
+  EdgeList list;
+  list.Add(2, 1);
+  list.Add(0, 5);
+  list.Add(2, 0);
+  list.Add(0, 2);
+  list.SortBySource();
+  EXPECT_EQ(list[0].src, 0u);
+  EXPECT_EQ(list[0].dst, 2u);
+  EXPECT_EQ(list[1].dst, 5u);
+  EXPECT_EQ(list[2].src, 2u);
+  EXPECT_EQ(list[2].dst, 0u);
+  EXPECT_EQ(list[3].dst, 1u);
+}
+
+TEST(EdgeListTest, DedupRemovesDuplicatePairsKeepingSmallestWeight) {
+  EdgeList list;
+  list.Add(0, 1, 9);
+  list.Add(0, 1, 3);
+  list.Add(0, 1, 5);
+  list.Add(1, 2, 4);
+  list.DedupAndDropSelfLoops();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], (Edge{0, 1, 3}));
+  EXPECT_EQ(list[1], (Edge{1, 2, 4}));
+}
+
+TEST(EdgeListTest, DedupDropsSelfLoops) {
+  EdgeList list;
+  list.Add(0, 0);
+  list.Add(1, 1);
+  list.Add(0, 1);
+  list.DedupAndDropSelfLoops();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].src, 0u);
+  EXPECT_EQ(list[0].dst, 1u);
+}
+
+TEST(EdgeListTest, SymmetrizeAppendsReverses) {
+  EdgeList list;
+  list.Add(0, 1, 4);
+  list.Add(2, 3, 6);
+  list.Symmetrize();
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[2], (Edge{1, 0, 4}));
+  EXPECT_EQ(list[3], (Edge{3, 2, 6}));
+}
+
+TEST(EdgeListTest, RandomizeWeightsInRangeAndDeterministic) {
+  EdgeList a;
+  for (int i = 0; i < 100; ++i) {
+    a.Add(i, i + 1);
+  }
+  EdgeList b = a;
+  a.RandomizeWeights(16, 42);
+  b.RandomizeWeights(16, 42);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i].weight, 1u);
+    EXPECT_LE(a[i].weight, 16u);
+    EXPECT_EQ(a[i].weight, b[i].weight) << "same seed must give same weights";
+  }
+}
+
+TEST(EdgeListTest, RandomizeWeightsDiffersAcrossSeeds) {
+  EdgeList a;
+  for (int i = 0; i < 64; ++i) {
+    a.Add(i, i + 1);
+  }
+  EdgeList b = a;
+  a.RandomizeWeights(1000000, 1);
+  b.RandomizeWeights(1000000, 2);
+  int differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    differing += a[i].weight != b[i].weight;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace simdx

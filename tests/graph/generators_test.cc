@@ -1,0 +1,84 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/stats.h"
+
+namespace simdx {
+namespace {
+
+TEST(GeneratorsTest, RmatHasRequestedScale) {
+  const EdgeList list = GenerateRmat(10, 8, /*seed=*/1);
+  EXPECT_EQ(list.size(), 8u << 10);
+  EXPECT_LE(list.MaxVertexPlusOne(), 1u << 10);
+}
+
+TEST(GeneratorsTest, RmatDeterministicPerSeed) {
+  const EdgeList a = GenerateRmat(8, 4, 42);
+  const EdgeList b = GenerateRmat(8, 4, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  const Graph g = Graph::FromEdges(GenerateRmat(12, 16, 7), false);
+  const DegreeStats s = ComputeOutDegreeStats(g);
+  EXPECT_GT(s.skew(), 10.0) << "R-MAT must produce hub vertices";
+}
+
+TEST(GeneratorsTest, UniformRandomIsNotSkewed) {
+  const Graph g =
+      Graph::FromEdges(GenerateUniformRandom(4096, 65536, 7), false);
+  const DegreeStats s = ComputeOutDegreeStats(g);
+  EXPECT_LT(s.skew(), 5.0) << "uniform random degrees concentrate at the mean";
+}
+
+TEST(GeneratorsTest, GridRoadHasHighDiameterAndBoundedDegree) {
+  const Graph g = Graph::FromEdges(GenerateGridRoad(80, 20, 3), false);
+  const DegreeStats s = ComputeOutDegreeStats(g);
+  EXPECT_LE(s.max, 8u);  // 4 grid + a few chords
+  EXPECT_GE(ApproxDiameter(g), 90u);  // ~width + height, minus chord shortcuts
+}
+
+TEST(GeneratorsTest, KroneckerSpreadsHubs) {
+  const EdgeList list = GenerateKronecker(10, 8, 11);
+  EXPECT_EQ(list.size(), 8u << 10);
+  // Relabeling must keep endpoints in range.
+  EXPECT_LE(list.MaxVertexPlusOne(), 1u << 10);
+}
+
+TEST(GeneratorsTest, SmallWorldDegreeRegular) {
+  const EdgeList list = GenerateSmallWorld(1000, 8, 0.1, 5);
+  EXPECT_EQ(list.size(), 8000u);
+}
+
+TEST(GeneratorsTest, ChainStarCompleteTreeShapes) {
+  EXPECT_EQ(GenerateChain(5).size(), 4u);
+  EXPECT_EQ(GenerateStar(7).size(), 7u);
+  EXPECT_EQ(GenerateComplete(5).size(), 10u);
+  EXPECT_EQ(GenerateBinaryTree(4).size(), 14u);  // 15 vertices, 14 edges
+}
+
+TEST(GeneratorsTest, ChainGraphDiameterExact) {
+  const Graph g = Graph::FromEdges(GenerateChain(50), false);
+  EXPECT_EQ(ApproxDiameter(g), 49u);
+}
+
+TEST(GeneratorsTest, PaperFigure1GraphShape) {
+  const EdgeList list = PaperFigure1Graph();
+  EXPECT_EQ(list.size(), 10u);  // ten undirected edges
+  EXPECT_EQ(list.MaxVertexPlusOne(), 9u);  // vertices a..i
+}
+
+TEST(GeneratorsTest, WeightsWithinCeiling) {
+  for (const Edge& e : GenerateRmat(8, 4, 3, RmatParams{}, 32).edges()) {
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, 32u);
+  }
+}
+
+}  // namespace
+}  // namespace simdx

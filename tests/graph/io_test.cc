@@ -1,0 +1,108 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.h"
+
+namespace simdx {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "simdx_io_test";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  EdgeList original = GenerateRmat(6, 4, 9);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeListText(original, path));
+  const auto loaded = ReadEdgeListText(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], original[i]);
+  }
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  EdgeList original = GenerateUniformRandom(100, 500, 4);
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(original, path));
+  const auto loaded = ReadEdgeListBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], original[i]);
+  }
+}
+
+TEST_F(IoTest, TextSkipsCommentsAndDefaultsWeight) {
+  const std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n% another\n0 1\n2 3 7\n";
+  }
+  const auto loaded = ReadEdgeListText(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0], (Edge{0, 1, 1}));
+  EXPECT_EQ((*loaded)[1], (Edge{2, 3, 7}));
+}
+
+TEST_F(IoTest, TextRejectsMalformedLine) {
+  const std::string path = TempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 not_a_number\n";
+  }
+  EXPECT_FALSE(ReadEdgeListText(path).has_value());
+}
+
+TEST_F(IoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadEdgeListText(TempPath("does_not_exist.txt")).has_value());
+  EXPECT_FALSE(ReadEdgeListBinary(TempPath("does_not_exist.bin")).has_value());
+}
+
+TEST_F(IoTest, BinaryRejectsWrongMagic) {
+  const std::string path = TempPath("wrong_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTMAGIC" << std::string(16, '\0');
+  }
+  EXPECT_FALSE(ReadEdgeListBinary(path).has_value());
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedFile) {
+  EdgeList original;
+  original.Add(0, 1, 2);
+  original.Add(1, 2, 3);
+  const std::string full = TempPath("full.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(original, full));
+  // Truncate mid-record.
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), {});
+  const std::string truncated_path = TempPath("truncated.bin");
+  std::ofstream out(truncated_path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  out.close();
+  EXPECT_FALSE(ReadEdgeListBinary(truncated_path).has_value());
+}
+
+TEST_F(IoTest, EmptyListRoundTrips) {
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(EdgeList{}, path));
+  const auto loaded = ReadEdgeListBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1,0 +1,62 @@
+#include "graph/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace simdx {
+namespace {
+
+TEST(PresetsTest, ElevenPresetsInPaperOrder) {
+  const auto& presets = AllPresets();
+  ASSERT_EQ(presets.size(), 11u);
+  EXPECT_EQ(presets.front().abbrev, "FB");
+  EXPECT_EQ(presets.back().abbrev, "TW");
+}
+
+TEST(PresetsTest, AllLoadNonEmptyAndValid) {
+  for (const PresetInfo& info : AllPresets()) {
+    const Graph g = LoadPreset(info.abbrev);
+    EXPECT_GT(g.vertex_count(), 0u) << info.abbrev;
+    EXPECT_GT(g.edge_count(), 0u) << info.abbrev;
+    EXPECT_TRUE(g.out().Validate()) << info.abbrev;
+    EXPECT_EQ(g.directed(), info.directed) << info.abbrev;
+    EXPECT_EQ(g.name(), info.abbrev);
+  }
+}
+
+TEST(PresetsTest, LoadingIsDeterministic) {
+  const Graph a = LoadPreset("LJ");
+  const Graph b = LoadPreset("LJ");
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.out().col_indices(), b.out().col_indices());
+}
+
+// Class structure is what the evaluation depends on: road graphs must be
+// high diameter / low degree, social graphs skewed / low diameter.
+TEST(PresetsTest, RoadClassHasHighDiameter) {
+  for (const char* name : {"ER", "RC"}) {
+    const Graph g = LoadPreset(name);
+    EXPECT_GE(ApproxDiameter(g), 100u) << name;
+    EXPECT_LE(ComputeOutDegreeStats(g).max, 10u) << name;
+  }
+}
+
+TEST(PresetsTest, SocialClassIsSkewed) {
+  for (const char* name : {"FB", "OR", "TW"}) {
+    const Graph g = LoadPreset(name);
+    EXPECT_GT(ComputeOutDegreeStats(g).skew(), 8.0) << name;
+  }
+}
+
+TEST(PresetsTest, ErIsLargestVertexCount) {
+  // Europe-osm dominates vertex count in Table 3; the scaled family keeps
+  // that ordering.
+  const VertexId er = LoadPreset("ER").vertex_count();
+  for (const char* name : {"FB", "LJ", "OR", "PK", "RD", "RC", "RM"}) {
+    EXPECT_GT(er, LoadPreset(name).vertex_count()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace simdx

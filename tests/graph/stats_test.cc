@@ -1,0 +1,63 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace simdx {
+namespace {
+
+TEST(StatsTest, DegreeStatsOnStar) {
+  const Graph g = Graph::FromEdges(GenerateStar(9), false);  // hub + 9 leaves
+  const DegreeStats s = ComputeOutDegreeStats(g);
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 18.0 / 10.0);
+  EXPECT_EQ(s.median, 1u);
+  EXPECT_GT(s.skew(), 4.0);
+}
+
+TEST(StatsTest, DegreeStatsEmptyGraph) {
+  const Graph g;
+  const DegreeStats s = ComputeOutDegreeStats(g);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.skew(), 0.0);
+}
+
+TEST(StatsTest, EccentricityOnChain) {
+  const Graph g = Graph::FromEdges(GenerateChain(10), false);
+  EXPECT_EQ(BfsEccentricity(g, 0), 9u);
+  EXPECT_EQ(BfsEccentricity(g, 5), 5u);
+}
+
+TEST(StatsTest, ApproxDiameterExactOnTreeLikeShapes) {
+  EXPECT_EQ(ApproxDiameter(Graph::FromEdges(GenerateChain(33), false)), 32u);
+  EXPECT_EQ(ApproxDiameter(Graph::FromEdges(GenerateStar(6), false)), 2u);
+  // Complete graph: everything one hop away.
+  EXPECT_EQ(ApproxDiameter(Graph::FromEdges(GenerateComplete(8), false)), 1u);
+}
+
+TEST(StatsTest, ComponentCount) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(2, 3);
+  list.Add(3, 4);
+  const Graph g = Graph::FromEdges(list, false, /*vertex_count=*/7);
+  // {0,1}, {2,3,4}, {5}, {6}
+  EXPECT_EQ(ComponentCount(g), 4u);
+}
+
+TEST(StatsTest, ComponentCountSingleComponent) {
+  const Graph g = Graph::FromEdges(GenerateGridRoad(10, 10, 1), false);
+  EXPECT_EQ(ComponentCount(g), 1u);
+}
+
+TEST(StatsTest, ReachableCountDirectedChain) {
+  const Graph g = Graph::FromEdges(GenerateChain(10), /*directed=*/true);
+  EXPECT_EQ(ReachableCount(g, 0), 10u);
+  EXPECT_EQ(ReachableCount(g, 9), 1u);
+  EXPECT_EQ(ReachableCount(g, 5), 5u);
+}
+
+}  // namespace
+}  // namespace simdx

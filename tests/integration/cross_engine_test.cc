@@ -1,0 +1,94 @@
+// Every engine — SIMD-X under all its policy combinations, the Gunrock-like
+// and CuSha-like GPU baselines, and the CPU frontier engines — must agree
+// with the serial oracles on every preset. This is the safety net under all
+// performance claims: whatever the cost model says, the answers are right.
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "baselines/cpu_engine.h"
+#include "baselines/cpu_reference.h"
+#include "baselines/cusha_like.h"
+#include "baselines/gunrock_like.h"
+#include "graph/presets.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+class PresetSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  Graph graph_ = LoadPreset(GetParam());
+};
+
+TEST_P(PresetSweep, AllEnginesAgreeOnBfs) {
+  const auto oracle = CpuBfsLevels(graph_, 0);
+  BfsProgram program;
+
+  const auto simdx = RunBfs(graph_, 0, MakeK40(), EngineOptions{});
+  ASSERT_TRUE(simdx.stats.ok());
+  EXPECT_EQ(simdx.values, oracle) << "simdx";
+
+  const auto gunrock = RunGunrockLike(graph_, program, MakeK40());
+  ASSERT_TRUE(gunrock.stats.ok());
+  EXPECT_EQ(gunrock.values, oracle) << "gunrock-like";
+
+  const auto cusha = RunCushaLike(graph_, program, MakeK40());
+  ASSERT_TRUE(cusha.stats.ok());
+  EXPECT_EQ(cusha.values, oracle) << "cusha-like";
+
+  const auto ligra = RunCpuFrontier(graph_, program, LigraLikeOptions());
+  EXPECT_EQ(ligra.values, oracle) << "ligra-like";
+
+  const auto galois = RunCpuFrontier(graph_, program, GaloisLikeOptions());
+  EXPECT_EQ(galois.values, oracle) << "galois-like";
+}
+
+TEST_P(PresetSweep, AllEnginesAgreeOnSssp) {
+  const auto oracle = CpuDijkstra(graph_, 0);
+  SsspProgram program;
+
+  const auto simdx = RunSssp(graph_, 0, MakeK40(), EngineOptions{});
+  ASSERT_TRUE(simdx.stats.ok());
+  EXPECT_EQ(simdx.values, oracle) << "simdx";
+
+  const auto gunrock = RunGunrockLike(graph_, program, MakeK40());
+  ASSERT_TRUE(gunrock.stats.ok());
+  EXPECT_EQ(gunrock.values, oracle) << "gunrock-like";
+
+  const auto galois = RunCpuFrontier(graph_, program, GaloisLikeOptions());
+  EXPECT_EQ(galois.values, oracle) << "galois-like";
+}
+
+TEST_P(PresetSweep, FilterPoliciesAgreeOnKCore) {
+  const auto oracle = CpuKCoreRemoved(graph_, 16);
+  for (FilterPolicy policy : {FilterPolicy::kJit, FilterPolicy::kBallotOnly}) {
+    EngineOptions o;
+    o.filter = policy;
+    const auto result = RunKCore(graph_, 16, MakeK40(), o);
+    ASSERT_TRUE(result.stats.ok());
+    for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
+      ASSERT_EQ(result.values[v].removed, oracle[v])
+          << "policy " << static_cast<int>(policy) << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(PresetSweep, FusionPoliciesAgreeOnSssp) {
+  const auto oracle = CpuDijkstra(graph_, 0);
+  for (FusionPolicy policy : {FusionPolicy::kNoFusion, FusionPolicy::kSelective,
+                              FusionPolicy::kAllFusion}) {
+    EngineOptions o;
+    o.fusion = policy;
+    const auto result = RunSssp(graph_, 0, MakeK40(), o);
+    ASSERT_TRUE(result.stats.ok());
+    EXPECT_EQ(result.values, oracle) << static_cast<int>(policy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresetGraphs, PresetSweep,
+                         ::testing::Values("FB", "ER", "KR", "LJ", "OR", "PK",
+                                           "RD", "RC", "RM", "UK", "TW"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace simdx

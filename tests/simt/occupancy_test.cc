@@ -1,0 +1,68 @@
+#include "simt/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+// The paper's own worked example (Section 5): 110 registers per thread,
+// 128 threads per CTA, K40 with 15 SMX and 65,536 registers each
+// -> floor(65536 / (110 * 128)) * 15 = 4 * 15 = 60 CTAs.
+TEST(OccupancyTest, PaperEquation1Example) {
+  const DeviceSpec k40 = MakeK40();
+  const KernelResources kernel{110, 128};
+  EXPECT_EQ(MaxResidentCtasPerSm(k40, kernel), 4u);
+  EXPECT_EQ(MaxResidentCtas(k40, kernel), 60u);
+}
+
+TEST(OccupancyTest, LowRegisterKernelCapsAtHardwareLimits) {
+  const DeviceSpec k40 = MakeK40();
+  const KernelResources kernel{16, 128};
+  // Registers would allow 32 CTAs; the CTA cap (16) binds first.
+  EXPECT_EQ(MaxResidentCtasPerSm(k40, kernel), 16u);
+}
+
+TEST(OccupancyTest, ThreadCapBinds) {
+  const DeviceSpec k40 = MakeK40();
+  const KernelResources kernel{16, 1024};
+  // 2048 threads / 1024 per CTA = 2 CTAs max.
+  EXPECT_EQ(MaxResidentCtasPerSm(k40, kernel), 2u);
+}
+
+TEST(OccupancyTest, ZeroInputsAreSafe) {
+  const DeviceSpec k40 = MakeK40();
+  EXPECT_EQ(MaxResidentCtasPerSm(k40, KernelResources{0, 128}), 0u);
+  EXPECT_EQ(MaxResidentCtasPerSm(k40, KernelResources{32, 0}), 0u);
+}
+
+TEST(OccupancyTest, FractionDecreasesWithRegisterPressure) {
+  const DeviceSpec k40 = MakeK40();
+  const double low = OccupancyFraction(k40, KernelResources{26, 128});
+  const double selective = OccupancyFraction(k40, KernelResources{48, 128});
+  const double fused = OccupancyFraction(k40, KernelResources{110, 128});
+  EXPECT_GT(low, selective);
+  EXPECT_GT(selective, fused);
+  // Table 2 narrative: the selective-fusion kernel should roughly double the
+  // configurable thread count of the all-fusion kernel.
+  EXPECT_GE(selective / fused, 2.0);
+}
+
+TEST(OccupancyTest, FractionIsAtMostOne) {
+  const DeviceSpec p100 = MakeP100();
+  EXPECT_LE(OccupancyFraction(p100, KernelResources{8, 128}), 1.0);
+  EXPECT_GT(OccupancyFraction(p100, KernelResources{8, 128}), 0.9);
+}
+
+TEST(OccupancyTest, K20HasHalfTheRegistersOfK40) {
+  // The paper: "65,536 registers of NVIDIA K40 GPUs and 32,768 from K20".
+  EXPECT_EQ(MakeK40().registers_per_sm, 65536u);
+  EXPECT_EQ(MakeK20().registers_per_sm, 32768u);
+  const KernelResources kernel{48, 128};
+  EXPECT_LT(MaxResidentCtasPerSm(MakeK20(), kernel),
+            MaxResidentCtasPerSm(MakeK40(), kernel));
+}
+
+}  // namespace
+}  // namespace simdx

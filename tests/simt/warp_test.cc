@@ -1,0 +1,110 @@
+#include "simt/warp.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace simdx {
+namespace {
+
+TEST(WarpTest, BallotBuildsMask) {
+  std::array<bool, 32> pred{};
+  pred[0] = true;
+  pred[5] = true;
+  pred[31] = true;
+  EXPECT_EQ(WarpBallot(pred), (1u << 0) | (1u << 5) | (1u << 31));
+}
+
+TEST(WarpTest, BallotPartialWarp) {
+  std::array<bool, 3> pred = {true, false, true};
+  EXPECT_EQ(WarpBallot(pred), 0b101u);
+}
+
+TEST(WarpTest, BallotEmpty) {
+  EXPECT_EQ(WarpBallot(std::span<const bool>{}), 0u);
+}
+
+TEST(WarpTest, AnyAll) {
+  std::array<bool, 4> none = {false, false, false, false};
+  std::array<bool, 4> some = {false, true, false, false};
+  std::array<bool, 4> all = {true, true, true, true};
+  EXPECT_FALSE(WarpAny(none));
+  EXPECT_TRUE(WarpAny(some));
+  EXPECT_FALSE(WarpAll(some));
+  EXPECT_TRUE(WarpAll(all));
+  EXPECT_TRUE(WarpAll(std::span<const bool>{}));  // vacuous
+}
+
+TEST(WarpTest, NthSetLane) {
+  const uint32_t mask = (1u << 3) | (1u << 7) | (1u << 20);
+  EXPECT_EQ(NthSetLane(mask, 0), 3u);
+  EXPECT_EQ(NthSetLane(mask, 1), 7u);
+  EXPECT_EQ(NthSetLane(mask, 2), 20u);
+  EXPECT_EQ(NthSetLane(mask, 3), kWarpSize);  // out of range
+}
+
+TEST(WarpTest, ReduceSumMatchesAccumulate) {
+  std::vector<uint32_t> lanes(32);
+  std::mt19937 rng(1);
+  for (auto& v : lanes) {
+    v = rng() % 1000;
+  }
+  const uint32_t expected = std::accumulate(lanes.begin(), lanes.end(), 0u);
+  const uint32_t got =
+      WarpReduce<uint32_t>(lanes, [](uint32_t a, uint32_t b) { return a + b; }, 0u);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(WarpTest, ReduceMinWithPartialLanes) {
+  std::vector<uint32_t> lanes = {9, 4, 7};
+  const uint32_t got = WarpReduce<uint32_t>(
+      lanes, [](uint32_t a, uint32_t b) { return a < b ? a : b; }, 0xffffffffu);
+  EXPECT_EQ(got, 4u);
+}
+
+TEST(WarpTest, InclusiveScanPrefixSums) {
+  std::vector<uint32_t> lanes(32, 1);
+  const auto scan = WarpInclusiveScan<uint32_t>(
+      lanes, [](uint32_t a, uint32_t b) { return a + b; }, 0u);
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(scan[lane], lane + 1);
+  }
+}
+
+TEST(WarpTest, ExclusiveScanShiftsByOne) {
+  std::vector<uint32_t> lanes = {3, 1, 4, 1, 5};
+  const auto scan = WarpExclusiveScan<uint32_t>(
+      lanes, [](uint32_t a, uint32_t b) { return a + b; }, 0u);
+  EXPECT_EQ(scan[0], 0u);
+  EXPECT_EQ(scan[1], 3u);
+  EXPECT_EQ(scan[2], 4u);
+  EXPECT_EQ(scan[3], 8u);
+  EXPECT_EQ(scan[4], 9u);
+}
+
+TEST(WarpTest, ScanMatchesSerialPrefixOnRandomInput) {
+  std::mt19937 rng(7);
+  std::vector<uint64_t> lanes(32);
+  for (auto& v : lanes) {
+    v = rng() % 100;
+  }
+  const auto scan = WarpInclusiveScan<uint64_t>(
+      lanes, [](uint64_t a, uint64_t b) { return a + b; }, uint64_t{0});
+  uint64_t running = 0;
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    running += lanes[lane];
+    EXPECT_EQ(scan[lane], running) << "lane " << lane;
+  }
+}
+
+TEST(WarpTest, PopCount) {
+  EXPECT_EQ(PopCount(0u), 0u);
+  EXPECT_EQ(PopCount(kFullMask), 32u);
+  EXPECT_EQ(PopCount(0b1011u), 3u);
+}
+
+}  // namespace
+}  // namespace simdx
