@@ -1,0 +1,241 @@
+// Host wall-clock scaling of the simulator's parallel runtime.
+//
+// Unlike every other bench (which reports SIMULATED time), this one measures
+// how long the simulator itself takes on the host for PageRank and BFS over
+// a ~1M-edge R-MAT graph at 1/2/4/8 host threads, and verifies the
+// determinism contract along the way: the simulated statistics (counters,
+// simulated ms, filter/direction patterns, values) must be byte-identical at
+// every thread count. Emits JSON (stdout, or --json <path>) so future PRs
+// can track the perf trajectory.
+//
+//   host_scaling [--scale N] [--edge-factor N] [--threads 1,2,4,8]
+//                [--repeats N] [--json out.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "algos/algos.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+struct Args {
+  uint32_t scale = 17;       // 2^17 vertices
+  uint32_t edge_factor = 8;  // ~1M directed edges
+  std::vector<uint32_t> threads = {1, 2, 4, 8};
+  uint32_t repeats = 3;
+  std::string json_path;
+};
+
+uint32_t ParseU32(const std::string& s, const char* flag) {
+  try {
+    size_t pos = 0;
+    const unsigned long v = std::stoul(s, &pos);
+    if (pos == s.size()) {
+      return static_cast<uint32_t>(v);
+    }
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects a number, got '" << s << "'\n";
+  std::exit(2);
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--scale" && i + 1 < argc) {
+      args.scale = ParseU32(argv[++i], "--scale");
+    } else if (a == "--edge-factor" && i + 1 < argc) {
+      args.edge_factor = ParseU32(argv[++i], "--edge-factor");
+    } else if (a == "--repeats" && i + 1 < argc) {
+      args.repeats = ParseU32(argv[++i], "--repeats");
+    } else if (a == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      args.threads.clear();
+      std::istringstream ss(argv[++i]);
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        if (!token.empty()) {
+          args.threads.push_back(ParseU32(token, "--threads"));
+        }
+      }
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--scale N] [--edge-factor N] [--threads 1,2,4,8]"
+                   " [--repeats N] [--json out.json]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The simulated-statistics fingerprint the determinism contract freezes.
+struct StatsKey {
+  std::string fingerprint;
+
+  template <typename Value>
+  static StatsKey Of(const RunResult<Value>& r) {
+    // FNV-1a over the raw output bytes: a race that corrupts values while
+    // leaving every counter intact must still trip the determinism gate.
+    uint64_t values_hash = 1469598103934665603ull;
+    const auto* bytes = reinterpret_cast<const unsigned char*>(r.values.data());
+    for (size_t i = 0; i < r.values.size() * sizeof(Value); ++i) {
+      values_hash = (values_hash ^ bytes[i]) * 1099511628211ull;
+    }
+    std::ostringstream os;
+    const CostCounters& c = r.stats.counters;
+    os.precision(17);
+    os << r.stats.iterations << '|' << c.coalesced_words << '|'
+       << c.scattered_words << '|' << c.atomic_ops << '|' << c.atomic_conflicts
+       << '|' << c.alu_ops << '|' << c.kernel_launches << '|'
+       << c.barrier_crossings << '|' << r.stats.time.ms << '|'
+       << r.stats.time.cycles << '|' << r.stats.total_active << '|'
+       << r.stats.total_edges_processed << '|' << r.stats.filter_pattern << '|'
+       << r.stats.direction_pattern << '|' << r.values.size() << '|'
+       << values_hash;
+    return StatsKey{os.str()};
+  }
+
+  friend bool operator==(const StatsKey&, const StatsKey&) = default;
+};
+
+struct Sample {
+  std::string algo;
+  uint32_t threads = 0;
+  double best_ms = 0.0;
+  StatsKey key;
+};
+
+template <typename RunFn>
+void Measure(const std::string& algo, const Args& args, const RunFn& run,
+             std::vector<Sample>& out) {
+  for (uint32_t t : args.threads) {
+    Sample s;
+    s.algo = algo;
+    s.threads = t;
+    s.best_ms = 1e300;
+    for (uint32_t rep = 0; rep < args.repeats; ++rep) {
+      const double t0 = NowMs();
+      auto result = run(t);
+      const double elapsed = NowMs() - t0;
+      s.best_ms = std::min(s.best_ms, elapsed);
+      const StatsKey key = StatsKey::Of(result);
+      if (s.key.fingerprint.empty()) {
+        s.key = key;
+      } else if (!(s.key == key)) {
+        std::cerr << "NON-DETERMINISM within " << algo << " t=" << t << "\n";
+        std::exit(1);
+      }
+    }
+    std::cerr << algo << " threads=" << t << " best=" << s.best_ms << "ms\n";
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+}  // namespace simdx
+
+int main(int argc, char** argv) {
+  using namespace simdx;
+  const Args args = Parse(argc, argv);
+
+  std::cerr << "building RMAT scale=" << args.scale
+            << " edge_factor=" << args.edge_factor << "...\n";
+  const Graph g = Graph::FromEdges(
+      GenerateRmat(args.scale, args.edge_factor, /*seed=*/42), /*directed=*/true);
+  std::cerr << "graph: " << g.vertex_count() << " vertices, " << g.edge_count()
+            << " edges\n";
+
+  const DeviceSpec device = MakeK40();
+  VertexId source = 0;
+  uint32_t best_degree = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.OutDegree(v) > best_degree) {
+      best_degree = g.OutDegree(v);
+      source = v;
+    }
+  }
+
+  std::vector<Sample> samples;
+  Measure(
+      "pagerank", args,
+      [&](uint32_t threads) {
+        EngineOptions o;
+        o.host_threads = threads;
+        return RunPageRank(g, device, o, /*epsilon=*/1e-8);
+      },
+      samples);
+  Measure(
+      "bfs", args,
+      [&](uint32_t threads) {
+        EngineOptions o;
+        o.host_threads = threads;
+        return RunBfs(g, source, device, o);
+      },
+      samples);
+
+  // Cross-thread-count determinism: one fingerprint per algorithm.
+  bool deterministic = true;
+  for (const Sample& s : samples) {
+    for (const Sample& other : samples) {
+      if (s.algo == other.algo && !(s.key == other.key)) {
+        deterministic = false;
+        std::cerr << "NON-DETERMINISM across thread counts in " << s.algo << "\n";
+      }
+    }
+  }
+
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n  \"graph\": {\"vertices\": " << g.vertex_count()
+       << ", \"edges\": " << g.edge_count() << ", \"rmat_scale\": " << args.scale
+       << "},\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n  \"deterministic\": "
+       << (deterministic ? "true" : "false") << ",\n  \"runs\": [\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    double speedup = -1.0;
+    for (const Sample& base : samples) {
+      if (base.algo == s.algo && base.threads == 1) {
+        speedup = base.best_ms / s.best_ms;
+      }
+    }
+    json << "    {\"algo\": \"" << s.algo << "\", \"host_threads\": " << s.threads
+         << ", \"wall_ms\": " << s.best_ms << ", \"speedup_vs_1\": ";
+    if (speedup > 0.0) {
+      json << speedup;
+    } else {
+      json << "null";  // no 1-thread baseline in this sweep
+    }
+    json << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << json.str();
+    std::cerr << "wrote " << args.json_path << "\n";
+  }
+  std::cout << json.str();
+  return deterministic ? 0 : 1;
+}

@@ -4,7 +4,34 @@
 #include <cmath>
 #include <queue>
 
+#include "core/parallel.h"
+
 namespace simdx {
+
+namespace {
+
+// Runs fn(v) for every vertex on the shared pool. Each call must only write
+// state owned by v; the iteration-space split is free to vary because per-
+// vertex work is self-contained.
+template <typename Fn>
+void ParallelOverVertices(VertexId n, const Fn& fn) {
+  ThreadPool& pool = ThreadPool::Global();
+  const uint32_t threads = pool.max_threads();
+  if (threads <= 1 || n < 4096) {
+    for (VertexId v = 0; v < n; ++v) {
+      fn(v);
+    }
+    return;
+  }
+  pool.ParallelFor(0, n, SuggestedGrain(n, threads, 1024), threads,
+                   [&](const ParallelChunk& c) {
+                     for (size_t v = c.begin; v < c.end; ++v) {
+                       fn(static_cast<VertexId>(v));
+                     }
+                   });
+}
+
+}  // namespace
 
 std::vector<uint32_t> CpuBfsLevels(const Graph& g, VertexId source) {
   std::vector<uint32_t> level(g.vertex_count(), kInfinity);
@@ -103,17 +130,21 @@ std::vector<double> CpuPageRank(const Graph& g, double damping, double tolerance
   std::vector<double> rank(n, base);
   std::vector<double> next(n, 0.0);
   for (uint32_t iter = 0; iter < max_iters; ++iter) {
-    std::fill(next.begin(), next.end(), base);
-    for (VertexId u = 0; u < n; ++u) {
-      const auto nbrs = g.out().Neighbors(u);
-      if (nbrs.empty()) {
-        continue;  // dangling mass dropped (matches PageRankProgram)
+    // Pull formulation over the in-CSR, parallel over destinations. The
+    // in-adjacency runs are sorted by source id, which is exactly the order
+    // the sequential push-scatter loop (ascending u) deposited contributions
+    // into next[v] — so the floating-point sums are bit-identical to the
+    // original oracle, for any thread count. Dangling vertices have no
+    // out-edges, hence never appear as in-neighbors: their mass drops, as
+    // before (matches PageRankProgram).
+    ParallelOverVertices(n, [&](VertexId v) {
+      double sum = base;
+      const auto nbrs = g.in().Neighbors(v);
+      for (VertexId u : nbrs) {
+        sum += damping * rank[u] / g.OutDegree(u);
       }
-      const double share = damping * rank[u] / nbrs.size();
-      for (VertexId v : nbrs) {
-        next[v] += share;
-      }
-    }
+      next[v] = sum;
+    });
     double l1 = 0.0;
     for (VertexId v = 0; v < n; ++v) {
       l1 += std::abs(next[v] - rank[v]);
@@ -271,20 +302,20 @@ std::vector<double> CpuBp(const Graph& g, uint32_t rounds, double damping,
   }
   std::vector<double> next(n, 0.0);
   for (uint32_t r = 0; r < rounds; ++r) {
-    for (VertexId v = 0; v < n; ++v) {
-      next[v] = prior(v);
-    }
-    for (VertexId u = 0; u < n; ++u) {
-      const auto nbrs = g.out().Neighbors(u);
-      const auto wts = g.out().NeighborWeights(u);
-      if (nbrs.empty()) {
-        continue;
-      }
-      const double per_edge = damping * belief[u] / nbrs.size();
+    // Pull over the in-CSR, parallel over destinations; in-runs are sorted
+    // by (source, weight) — the exact deposit order of the sequential
+    // push-scatter — so each belief is bit-identical to the original loop.
+    ParallelOverVertices(n, [&](VertexId v) {
+      double sum = prior(v);
+      const auto nbrs = g.in().Neighbors(v);
+      const auto wts = g.in().NeighborWeights(v);
       for (size_t i = 0; i < nbrs.size(); ++i) {
-        next[nbrs[i]] += per_edge * (static_cast<double>(wts[i]) / max_weight);
+        const VertexId u = nbrs[i];
+        const double per_edge = damping * belief[u] / g.OutDegree(u);
+        sum += per_edge * (static_cast<double>(wts[i]) / max_weight);
       }
-    }
+      next[v] = sum;
+    });
     belief.swap(next);
   }
   return belief;
@@ -292,13 +323,17 @@ std::vector<double> CpuBp(const Graph& g, uint32_t rounds, double damping,
 
 std::vector<double> CpuSpmv(const Graph& g, const std::vector<double>& x) {
   std::vector<double> y(g.vertex_count(), 0.0);
-  for (VertexId u = 0; u < g.vertex_count(); ++u) {
-    const auto nbrs = g.out().Neighbors(u);
-    const auto wts = g.out().NeighborWeights(u);
+  // Row-parallel gather over the in-CSR; deposit order per row matches the
+  // sequential out-edge scatter (see CpuPageRank), so results are identical.
+  ParallelOverVertices(g.vertex_count(), [&](VertexId v) {
+    double sum = 0.0;
+    const auto nbrs = g.in().Neighbors(v);
+    const auto wts = g.in().NeighborWeights(v);
     for (size_t i = 0; i < nbrs.size(); ++i) {
-      y[nbrs[i]] += static_cast<double>(wts[i]) * x[u];
+      sum += static_cast<double>(wts[i]) * x[nbrs[i]];
     }
-  }
+    y[v] = sum;
+  });
   return y;
 }
 

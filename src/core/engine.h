@@ -26,6 +26,7 @@
 #include "core/jit.h"
 #include "core/metadata.h"
 #include "core/options.h"
+#include "core/parallel.h"
 #include "core/result.h"
 #include "core/worklist.h"
 #include "graph/graph.h"
@@ -52,6 +53,10 @@ class Engine {
 
   Engine(const Graph& graph, DeviceSpec device, EngineOptions options)
       : graph_(graph), device_(std::move(device)), options_(options) {
+    host_threads_ = options_.host_threads != 0
+                        ? options_.host_threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+    pool_ = host_threads_ > 1 ? &ThreadPool::Global() : nullptr;
     if (options_.fixed_sm_budget > 0 && options_.fixed_sm_budget < device_.sm_count) {
       // A launch geometry tuned for an older part drives only a fraction of
       // a newer device's memory system — the Section 7.3 reason Gunrock
@@ -79,7 +84,7 @@ class Engine {
     VertexMeta<Value> meta = MakeMetadata(program);
     std::vector<VertexId> frontier = program.InitialFrontier();
     JitController jit(options_.filter, options_.sim_worker_threads,
-                      options_.overflow_threshold);
+                      options_.overflow_threshold, pool_, host_threads_);
     FusionAccountant fusion(options_.fusion, options_.threads_per_cta);
     // The fused kernels synchronize iterations with the software global
     // barrier; the grid must be sized by Eq. 1 or the barrier deadlocks.
@@ -125,7 +130,17 @@ class Engine {
       IterationInfo info;
       info.iteration = iter;
       info.frontier_size = frontier.size();
-      info.frontier_out_edges = FrontierOutEdges(frontier);
+      // One walk over the frontier reads every degree exactly once,
+      // producing the out-edge sum the direction heuristic needs AND the
+      // Thread/Warp/CTA lists a push iteration will consume (classification
+      // is not charged to the simulated counters, so running it regardless
+      // of the eventual direction changes no statistic).
+      info.frontier_out_edges =
+          options_.classify_worklists
+              ? classifier_.Classify(frontier, graph_, options_.small_degree_limit,
+                                     options_.medium_degree_limit, pool_,
+                                     host_threads_)
+              : classifier_.OutEdgeSum(frontier, graph_, pool_, host_threads_);
       info.vertex_count = graph_.vertex_count();
       info.edge_count = graph_.edge_count();
       info.previous_direction = prev_dir;
@@ -146,29 +161,29 @@ class Engine {
       }
       uint64_t edges_processed = 0;
       if (dir == Direction::kPush) {
-        WorkLists lists;
         if (options_.classify_worklists) {
-          lists = ClassifyFrontier(frontier, graph_, options_.small_degree_limit,
-                                   options_.medium_degree_limit);
+          const WorkLists& lists = classifier_.result();
+          edges_processed =
+              ProcessPush(program, meta, lists, frontier_sorted, jit, it_cost);
+          last_stage_count_ = (lists.small.empty() ? 0u : 1u) +
+                              (lists.medium.empty() ? 0u : 1u) +
+                              (lists.large.empty() ? 0u : 1u);
         } else {
           // Thread-per-vertex scheduling: a warp stalls until its slowest
           // lane (largest adjacency) finishes — charge the idle-lane cycles.
-          lists.small = frontier;
           it_cost.alu_ops += DivergencePenalty(frontier);
+          edges_processed = PushList(program, meta, frontier, KernelClass::kThread,
+                                     frontier_sorted, jit, it_cost);
+          last_stage_count_ = frontier.empty() ? 0u : 1u;
         }
-        edges_processed =
-            ProcessPush(program, meta, lists, frontier_sorted, jit, it_cost);
-        last_stage_count_ = (lists.small.empty() ? 0u : 1u) +
-                            (lists.medium.empty() ? 0u : 1u) +
-                            (lists.large.empty() ? 0u : 1u);
       } else {
         edges_processed = ProcessPull(program, meta, jit, it_cost);
         // Every contributor's pending activity has now been read by all of
         // its out-neighbors: consume it (residual-carrying programs subtract
-        // the consumed amount; others are no-ops).
-        for (VertexId v : frontier) {
-          Consume(program, meta, v, Direction::kPull);
-        }
+        // the consumed amount; others are no-ops). Frontiers are duplicate-
+        // free (recorded_stamp_ guarantees at-most-once recording), so the
+        // per-vertex consumes are independent.
+        ConsumeFrontier(program, meta, frontier);
         last_stage_count_ = 3;
       }
 
@@ -176,22 +191,24 @@ class Engine {
       if (static_frontier) {
         // Frontier provably unchanged (e.g. belief propagation: every vertex
         // stays active); reuse it without running any filter.
-        meta.SyncPrev();
+        meta.SyncPrev(pool_, host_threads_);
         pending_filter = '=';
       } else {
         const auto active = [&](VertexId v) {
           return program.Active(meta.curr(v), meta.prev(v));
         };
-        std::vector<VertexId> next = jit.BuildNextFrontier(n, active, it_cost);
+        jit.BuildNextFrontierInto(n, active, it_cost, next_frontier_);
         pending_filter = jit.pattern().back();
         if (jit.failed()) {
           result.stats.failed = true;
         }
         // Frontier committed: "changed" restarts from this snapshot. The
         // real kernels get this for free from the metadata ping-pong swap.
-        meta.SyncPrev();
+        meta.SyncPrev(pool_, host_threads_);
         frontier_sorted = pending_filter == 'B';
-        frontier = std::move(next);
+        // Swap instead of move: the displaced buffer becomes next
+        // iteration's output scratch, so the steady state allocates nothing.
+        frontier.swap(next_frontier_);
       }
 
       const FusionAccountant::IterationCharge charge =
@@ -301,14 +318,6 @@ class Engine {
                options_.overflow_threshold * sizeof(VertexId);  // thread bins
     }
     return bytes;
-  }
-
-  uint64_t FrontierOutEdges(const std::vector<VertexId>& frontier) const {
-    uint64_t edges = 0;
-    for (VertexId v : frontier) {
-      edges += graph_.OutDegree(v);
-    }
-    return edges;
   }
 
   // SIMD idle-lane cycles when 32 consecutive frontier vertices share a warp
@@ -430,13 +439,66 @@ class Engine {
 
   // --- pull: every (non-skipped) vertex gathers from contributing
   // in-neighbors, reading previous-iteration values (pure BSP) ---
+  //
+  // The gather for vertex v touches only prev (frozen for the whole
+  // iteration) and emits one candidate update for v, so the scan
+  // parallelizes over contiguous vertex ranges with zero sharing. The tail
+  // of the sequential loop — Apply (which may carry program side effects,
+  // e.g. delta-stepping's bucket parking), the curr write, and the online-
+  // filter record — is DEFERRED: chunks collect (v, combined) pairs, and
+  // after the join the engine replays them in ascending chunk (= vertex)
+  // order. The replay performs exactly the statements the sequential loop
+  // would, in the same order, so values, counters, bins and program state
+  // are bit-identical for any host thread count.
   uint64_t ProcessPull(const Program& program, VertexMeta<Value>& meta,
                        JitController& jit, CostCounters& cost) {
-    const Csr& in = graph_.in();
-    const uint32_t workers = options_.sim_worker_threads;
-    const bool vote = program.combine_kind() == CombineKind::kVote;
+    const VertexId n = graph_.in().vertex_count();
+    if (pool_ == nullptr || host_threads_ <= 1 || n < 1024) {
+      uint64_t edges = 0;
+      PullRange(program, meta, 0, n, cost, edges,
+                [&](VertexId v, const Value& combined) {
+                  ApplyPullUpdate(program, meta, v, combined, jit, cost);
+                });
+      return edges;
+    }
+    const size_t grain = SuggestedGrain(n, host_threads_, 256);
+    const uint32_t chunks = ThreadPool::NumChunks(0, n, grain);
+    if (pull_scratch_.size() < chunks) {
+      pull_scratch_.resize(chunks);
+    }
+    pool_->ParallelFor(0, n, grain, host_threads_, [&](const ParallelChunk& c) {
+      PullScratch& s = pull_scratch_[c.chunk_index];
+      s.cost = CostCounters{};
+      s.edges = 0;
+      s.updates.clear();
+      PullRange(program, meta, static_cast<VertexId>(c.begin),
+                static_cast<VertexId>(c.end), s.cost, s.edges,
+                [&s](VertexId v, const Value& combined) {
+                  s.updates.emplace_back(v, combined);
+                });
+    });
     uint64_t edges = 0;
-    for (VertexId v = 0; v < in.vertex_count(); ++v) {
+    for (uint32_t i = 0; i < chunks; ++i) {
+      cost += pull_scratch_[i].cost;
+      edges += pull_scratch_[i].edges;
+    }
+    for (uint32_t i = 0; i < chunks; ++i) {
+      for (const auto& [v, combined] : pull_scratch_[i].updates) {
+        ApplyPullUpdate(program, meta, v, combined, jit, cost);
+      }
+    }
+    return edges;
+  }
+
+  // The per-vertex gather shared by the sequential and per-chunk paths;
+  // `on_update(v, combined)` fires where the sequential loop would Apply.
+  template <typename OnUpdate>
+  void PullRange(const Program& program, const VertexMeta<Value>& meta,
+                 VertexId vbegin, VertexId vend, CostCounters& cost,
+                 uint64_t& edges, OnUpdate&& on_update) const {
+    const Csr& in = graph_.in();
+    const bool vote = program.combine_kind() == CombineKind::kVote;
+    for (VertexId v = vbegin; v < vend; ++v) {
       cost.coalesced_words += 1;  // own metadata, sequential over v
       cost.alu_ops += 1;
       if (program.PullSkip(meta.prev(v))) {
@@ -475,15 +537,41 @@ class Engine {
       if (!any) {
         continue;
       }
-      const Value applied =
-          program.Apply(v, combined, meta.curr(v), Direction::kPull);
-      if (program.ValueChanged(meta.curr(v), applied)) {
-        meta.curr(v) = applied;
-        cost.coalesced_words += 1;  // own write, sequential over v
-        MaybeRecord(program, meta, v, v % workers, jit, cost);
-      }
+      on_update(v, combined);
     }
-    return edges;
+  }
+
+  // The deferred tail of a pull-mode vertex update; identical statement
+  // sequence to the tail of the original sequential loop.
+  void ApplyPullUpdate(const Program& program, VertexMeta<Value>& meta, VertexId v,
+                       const Value& combined, JitController& jit,
+                       CostCounters& cost) {
+    const Value applied =
+        program.Apply(v, combined, meta.curr(v), Direction::kPull);
+    if (program.ValueChanged(meta.curr(v), applied)) {
+      meta.curr(v) = applied;
+      cost.coalesced_words += 1;  // own write, sequential over v
+      MaybeRecord(program, meta, v, v % options_.sim_worker_threads, jit, cost);
+    }
+  }
+
+  // Post-pull activity consumption. ConsumeActivity is pure per vertex and
+  // the frontier is duplicate-free, so vertices split across threads.
+  void ConsumeFrontier(const Program& program, VertexMeta<Value>& meta,
+                       const std::vector<VertexId>& frontier) {
+    if (pool_ == nullptr || host_threads_ <= 1 || frontier.size() < 4096) {
+      for (VertexId v : frontier) {
+        Consume(program, meta, v, Direction::kPull);
+      }
+      return;
+    }
+    pool_->ParallelFor(0, frontier.size(),
+                       SuggestedGrain(frontier.size(), host_threads_, 2048),
+                       host_threads_, [&](const ParallelChunk& c) {
+                         for (size_t i = c.begin; i < c.end; ++i) {
+                           Consume(program, meta, frontier[i], Direction::kPull);
+                         }
+                       });
   }
 
   // Simulated hardware thread that discovered an activation: a Thread-class
@@ -512,9 +600,23 @@ class Engine {
     return worker % workers;
   }
 
+  // Per-chunk scratch for the parallel pull phase, reused across iterations.
+  struct PullScratch {
+    CostCounters cost;
+    uint64_t edges = 0;
+    std::vector<std::pair<VertexId, Value>> updates;
+  };
+
   const Graph& graph_;
   DeviceSpec device_;
   EngineOptions options_;
+  ThreadPool* pool_ = nullptr;
+  uint32_t host_threads_ = 1;
+  // Iteration-loop scratch, owned by the engine so the steady state of the
+  // hot loop performs no heap allocation.
+  FrontierClassifier classifier_;
+  std::vector<VertexId> next_frontier_;
+  std::vector<PullScratch> pull_scratch_;
   // Iteration-stamped "already recorded" marks (avoids duplicate bin
   // entries; the real system tolerates duplicates, our sequential apply
   // makes exactly-once recording the natural semantics).

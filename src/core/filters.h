@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/parallel.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 #include "simt/cost_model.h"
@@ -22,6 +23,13 @@ namespace simdx {
 
 using ActivePredicate = std::function<bool(VertexId)>;
 
+// Per-chunk output buffers for the parallel ballot scan, owned by the caller
+// (the JIT controller) so the per-iteration scan allocates nothing once warm.
+struct BallotScratch {
+  std::vector<std::vector<VertexId>> chunk_frontier;
+  std::vector<CostCounters> chunk_cost;
+};
+
 // Runs the warp-ballot scan over [0, vertex_count): each warp of 32 lanes
 // loads 32 consecutive vertices' metadata (curr + prev, charged as coalesced
 // reads), votes with ballot, and the first lane appends the set lanes in
@@ -29,6 +37,16 @@ using ActivePredicate = std::function<bool(VertexId)>;
 std::vector<VertexId> BallotFilterScan(VertexId vertex_count,
                                        const ActivePredicate& active,
                                        CostCounters& counters);
+
+// Parallel form: warp-aligned chunks scanned concurrently, compacted into
+// `out` by chunk-order prefix offsets — the host-side equivalent of the
+// scan + prefix-sum the GPU filter performs, with output (and every charged
+// counter) bit-identical to the sequential scan for any thread count.
+// `active` must be safe for concurrent calls (it only reads metadata).
+void BallotFilterScanInto(VertexId vertex_count, const ActivePredicate& active,
+                          CostCounters& counters, std::vector<VertexId>& out,
+                          BallotScratch& scratch, ThreadPool* pool,
+                          uint32_t threads);
 
 // Expands the frontier into an explicit (src, dst) active-edge list — the
 // batch filter's first step (Figure 6(a) step a1). Charges the edge-list

@@ -5,14 +5,17 @@
 namespace simdx {
 
 JitController::JitController(FilterPolicy policy, uint32_t worker_threads,
-                             uint32_t overflow_threshold)
+                             uint32_t overflow_threshold, ThreadPool* pool,
+                             uint32_t host_threads)
     : policy_(policy),
       // The batch filter has no bounded-bin concept: per-thread outputs are
       // sized for the worst case, so bins never overflow (they OOM instead —
       // accounted in the engine's memory footprint).
       bins_(worker_threads, policy == FilterPolicy::kBatch
                                 ? std::numeric_limits<uint32_t>::max()
-                                : overflow_threshold) {}
+                                : overflow_threshold),
+      pool_(pool),
+      host_threads_(host_threads) {}
 
 void JitController::RecordActivation(uint32_t worker, VertexId v,
                                      CostCounters& counters) {
@@ -31,15 +34,24 @@ void JitController::RecordActivation(uint32_t worker, VertexId v,
 std::vector<VertexId> JitController::BuildNextFrontier(VertexId vertex_count,
                                                        const ActivePredicate& active,
                                                        CostCounters& counters) {
-  const bool overflowed = bins_.overflowed();
   std::vector<VertexId> frontier;
+  BuildNextFrontierInto(vertex_count, active, counters, frontier);
+  return frontier;
+}
+
+void JitController::BuildNextFrontierInto(VertexId vertex_count,
+                                          const ActivePredicate& active,
+                                          CostCounters& counters,
+                                          std::vector<VertexId>& out) {
+  const bool overflowed = bins_.overflowed();
 
   const bool use_ballot =
       policy_ == FilterPolicy::kBallotOnly ||
       (policy_ == FilterPolicy::kJit && overflowed);
 
   if (use_ballot) {
-    frontier = BallotFilterScan(vertex_count, active, counters);
+    BallotFilterScanInto(vertex_count, active, counters, out, scan_scratch_,
+                         pool_, host_threads_);
     pattern_ += 'B';
     ++ballot_iterations_;
   } else {
@@ -47,14 +59,13 @@ std::vector<VertexId> JitController::BuildNextFrontier(VertexId vertex_count,
       // Activations were dropped on the floor; results are not trustworthy.
       failed_ = true;
     }
-    frontier = bins_.Concatenate();
+    bins_.ConcatenateInto(out);
     // Prefix-scan concatenation of the bins: read + write each entry once.
-    counters.coalesced_words += 2ull * frontier.size();
+    counters.coalesced_words += 2ull * out.size();
     pattern_ += policy_ == FilterPolicy::kBatch ? 'A' : 'O';
     ++online_iterations_;
   }
   bins_.Reset();
-  return frontier;
 }
 
 }  // namespace simdx

@@ -15,6 +15,7 @@
 
 #include "core/filters.h"
 #include "core/options.h"
+#include "core/parallel.h"
 #include "core/worklist.h"
 #include "graph/types.h"
 #include "simt/cost_model.h"
@@ -23,8 +24,11 @@ namespace simdx {
 
 class JitController {
  public:
+  // `pool`/`host_threads` drive the host-parallel ballot scan; null / 1
+  // selects the sequential scan (statistics are identical either way).
   JitController(FilterPolicy policy, uint32_t worker_threads,
-                uint32_t overflow_threshold);
+                uint32_t overflow_threshold, ThreadPool* pool = nullptr,
+                uint32_t host_threads = 1);
 
   // Called by the engine when vertex `v` BECOMES active (first improving
   // update this iteration), from simulated worker `worker`.
@@ -36,6 +40,11 @@ class JitController {
   std::vector<VertexId> BuildNextFrontier(VertexId vertex_count,
                                           const ActivePredicate& active,
                                           CostCounters& counters);
+
+  // Allocation-free form: fills `out` (cleared first), reusing the caller's
+  // buffer and this controller's scan scratch across iterations.
+  void BuildNextFrontierInto(VertexId vertex_count, const ActivePredicate& active,
+                             CostCounters& counters, std::vector<VertexId>& out);
 
   // True when FilterPolicy::kOnlineOnly hit an overflow: activations were
   // dropped, the traversal is incomplete, the run must be reported failed
@@ -53,6 +62,9 @@ class JitController {
  private:
   FilterPolicy policy_;
   ThreadBins bins_;
+  ThreadPool* pool_;
+  uint32_t host_threads_;
+  BallotScratch scan_scratch_;
   bool failed_ = false;
   std::string pattern_;
   uint32_t ballot_iterations_ = 0;

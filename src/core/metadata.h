@@ -5,8 +5,10 @@
 #ifndef SIMDX_CORE_METADATA_H_
 #define SIMDX_CORE_METADATA_H_
 
+#include <algorithm>
 #include <vector>
 
+#include "core/parallel.h"
 #include "graph/types.h"
 
 namespace simdx {
@@ -37,6 +39,20 @@ class VertexMeta {
   // relative to this instant.
   void SyncPrev() { prev_ = curr_; }
   void SyncPrev(VertexId v) { prev_[v] = curr_[v]; }
+
+  // Parallel commit for large metadata arrays (a plain per-element copy, so
+  // the result is identical for any thread count).
+  void SyncPrev(ThreadPool* pool, uint32_t threads) {
+    if (pool == nullptr || threads <= 1 || curr_.size() < (1u << 15)) {
+      prev_ = curr_;
+      return;
+    }
+    pool->ParallelFor(0, curr_.size(), SuggestedGrain(curr_.size(), threads, 8192),
+                      threads, [&](const ParallelChunk& c) {
+                        std::copy(curr_.begin() + c.begin, curr_.begin() + c.end,
+                                  prev_.begin() + c.begin);
+                      });
+  }
 
  private:
   std::vector<Value> curr_;

@@ -52,6 +52,13 @@ struct EngineOptions {
 
   uint32_t max_iterations = 100000;
 
+  // HOST threads driving the simulator's embarrassingly-parallel phases
+  // (pull gathers, ballot scans, frontier classification). Purely a
+  // wall-clock knob: every simulated statistic is bit-identical for any
+  // value (see core/parallel.h). 0 = hardware_concurrency; 1 = the serial
+  // code path, chunk by chunk in order on the calling thread.
+  uint32_t host_threads = 0;
+
   // 0 = use the device's global_memory_bytes. Benches shrink this by the
   // preset scale factor so the paper's OOM rows reproduce.
   size_t memory_budget_bytes = 0;

@@ -1,0 +1,156 @@
+// Host-side parallel execution runtime.
+//
+// The simulator is functionally exact, so host parallelism must never change
+// a single simulated statistic. Every construct here is built around one
+// invariant: WORK DECOMPOSITION IS BY CHUNK, MERGES ARE BY CHUNK INDEX.
+// Chunks are contiguous sub-ranges of the iteration space; which OS thread
+// executes a chunk is scheduling noise, but per-chunk partial results are
+// always reduced in ascending chunk order, so counters, frontiers, worklist
+// order, floating-point sums — everything — is bit-identical for any thread
+// count, including the serial inline path used when one thread is requested.
+//
+// The pool is persistent (workers park on a condition variable between
+// jobs) and shared process-wide via ThreadPool::Global(); engines cap their
+// participation per-run with EngineOptions::host_threads.
+#ifndef SIMDX_CORE_PARALLEL_H_
+#define SIMDX_CORE_PARALLEL_H_
+
+#include <atomic>
+#include <concepts>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace simdx {
+
+// One contiguous piece of a ParallelFor range. `chunk_index` drives ordered
+// reductions (deterministic); `thread_index` only addresses per-thread
+// scratch (NOT deterministic — never let output order depend on it).
+struct ParallelChunk {
+  size_t begin = 0;
+  size_t end = 0;
+  uint32_t chunk_index = 0;
+  uint32_t thread_index = 0;
+};
+
+// Non-owning callable wrapper (function_ref). ParallelFor blocks until every
+// chunk has run, so borrowing the caller's lambda is safe — and unlike
+// std::function, binding one never heap-allocates, which keeps the
+// per-iteration hot loop allocation-free.
+class ChunkFn {
+ public:
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, ChunkFn> &&
+             std::invocable<F&, const ParallelChunk&>)
+  ChunkFn(F&& f)  // NOLINT(google-explicit-constructor): mirrors function_ref
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, const ParallelChunk& c) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(c);
+        }) {}
+
+  void operator()(const ParallelChunk& c) const { call_(obj_, c); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, const ParallelChunk&);
+};
+
+class ThreadPool {
+ public:
+  // `worker_limit` = 0 sizes the pool to hardware_concurrency, floored at 8
+  // so determinism tests exercise real interleavings even on tiny CI boxes
+  // (parked workers cost nothing).
+  explicit ThreadPool(uint32_t worker_limit = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Workers + the calling thread.
+  uint32_t max_threads() const { return static_cast<uint32_t>(workers_.size()) + 1; }
+
+  // Process-wide shared pool (lazily constructed, never destroyed before
+  // static teardown).
+  static ThreadPool& Global();
+
+  // Splits [begin, end) into ceil(n / grain) chunks and runs `fn` once per
+  // chunk, using at most `threads` OS threads (the caller participates and
+  // is thread_index 0). Blocks until every chunk has run. Chunk boundaries
+  // depend only on (begin, end, grain) — never on `threads` — and `fn` may
+  // be invoked concurrently from different threads, one chunk at a time per
+  // thread. Serial fallbacks (threads <= 1, a single chunk, or a nested call
+  // from inside another ParallelFor) run the chunks inline in order on the
+  // caller, which is exactly the sequential loop.
+  void ParallelFor(size_t begin, size_t end, size_t grain, uint32_t threads,
+                   const ChunkFn& fn);
+
+  // Number of chunks ParallelFor will produce for this range/grain — sizes
+  // per-chunk scratch before launching.
+  static uint32_t NumChunks(size_t begin, size_t end, size_t grain) {
+    const size_t n = end > begin ? end - begin : 0;
+    const size_t g = grain == 0 ? 1 : grain;
+    return static_cast<uint32_t>((n + g - 1) / g);
+  }
+
+ private:
+  void WorkerLoop(uint32_t worker_index);
+  void RunChunks(uint32_t thread_index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+
+  // Current job, guarded by mutex_ for publication; chunk claiming is
+  // lock-free via claim_/done_. Both pack (epoch << 32 | counter) so a
+  // worker that lingers past the end of job N can never claim or complete a
+  // chunk of job N+1 with job N's snapshot: the CAS on claim_ checks the
+  // epoch and the counter in one shot.
+  const ChunkFn* fn_ = nullptr;
+  size_t job_begin_ = 0;
+  size_t job_end_ = 0;
+  size_t job_grain_ = 1;
+  uint32_t job_chunks_ = 0;
+  uint32_t job_threads_ = 1;
+  uint64_t epoch_ = 0;
+  bool stopping_ = false;
+  std::atomic<uint64_t> claim_{0};
+  std::atomic<uint64_t> done_{0};
+
+  // Serializes submissions from distinct caller threads.
+  std::mutex submit_mutex_;
+};
+
+// Suggested grain for a range processed by `threads` threads: enough chunks
+// (~8 per thread) for load balancing on skewed work, floored so tiny ranges
+// do not shatter into per-element chunks. `align` rounds the grain up to a
+// multiple (e.g. the warp size for ballot scans, so warp boundaries never
+// straddle chunks).
+size_t SuggestedGrain(size_t n, uint32_t threads, size_t min_grain = 256,
+                      size_t align = 1);
+
+// Deterministic ordered reduction: runs `map` once per chunk in parallel,
+// then folds the per-chunk accumulators into `init` in ascending chunk order
+// on the calling thread. T must be default-constructible; `map` fills
+// acc[chunk_index], `fold` merges (total, partial) left to right.
+template <typename T, typename MapFn, typename FoldFn>
+T OrderedReduce(ThreadPool& pool, size_t begin, size_t end, size_t grain,
+                uint32_t threads, T init, const MapFn& map, const FoldFn& fold) {
+  const uint32_t chunks = ThreadPool::NumChunks(begin, end, grain);
+  std::vector<T> partial(chunks);
+  pool.ParallelFor(begin, end, grain, threads,
+                   [&](const ParallelChunk& c) { map(c, partial[c.chunk_index]); });
+  for (uint32_t i = 0; i < chunks; ++i) {
+    fold(init, partial[i]);
+  }
+  return init;
+}
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_PARALLEL_H_

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/parallel.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -40,6 +41,34 @@ WorkLists ClassifyFrontier(const std::vector<VertexId>& frontier, const Graph& g
 KernelClass ClassifyDegree(uint32_t degree, uint32_t small_degree_limit,
                            uint32_t medium_degree_limit);
 
+// Reusable, parallel frontier classifier. One pass over the frontier reads
+// each vertex's degree exactly once and produces BOTH the degree sum the
+// direction heuristic needs (IterationInfo::frontier_out_edges) and the
+// Thread/Warp/CTA lists — the engine previously walked the frontier twice
+// for this. Per-chunk partial lists are merged in chunk order, so `result()`
+// preserves frontier order exactly like the sequential loop; all buffers are
+// owned here and reused across iterations (no per-iteration allocation once
+// warm).
+class FrontierClassifier {
+ public:
+  // Classifies into the internal lists and returns the frontier's total
+  // out-edge count. `pool` may be null (serial).
+  uint64_t Classify(const std::vector<VertexId>& frontier, const Graph& g,
+                    uint32_t small_degree_limit, uint32_t medium_degree_limit,
+                    ThreadPool* pool, uint32_t threads);
+
+  // Degree sum only (classification disabled): same parallel walk, no lists.
+  uint64_t OutEdgeSum(const std::vector<VertexId>& frontier, const Graph& g,
+                      ThreadPool* pool, uint32_t threads);
+
+  const WorkLists& result() const { return lists_; }
+
+ private:
+  WorkLists lists_;
+  std::vector<WorkLists> partial_;       // per-chunk lists, capacity reused
+  std::vector<uint64_t> partial_edges_;  // per-chunk degree sums
+};
+
 // Per-thread bounded bins used by the online filter (paper Figure 6(c)).
 // `Record` returns false — and latches `overflowed()` — once the owning bin
 // is full; the caller decides whether that aborts the policy (online-only)
@@ -57,6 +86,10 @@ class ThreadBins {
   // in thread order. The result is neither sorted nor duplicate-free — the
   // documented weakness of the online filter.
   std::vector<VertexId> Concatenate() const;
+
+  // Same, appending into a caller-owned buffer (cleared first) so the hot
+  // loop reuses one frontier allocation across iterations.
+  void ConcatenateInto(std::vector<VertexId>& out) const;
 
   void Reset();
 

@@ -2,8 +2,49 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
+
+#include "core/parallel.h"
 
 namespace simdx {
+
+namespace {
+
+// Below this, thread handoff costs more than the build itself.
+constexpr size_t kParallelBuildMinEdges = 1u << 15;
+
+// Sorts every adjacency run by (dst, weight). Runs are independent, so the
+// vertex range splits across threads; each chunk reuses one scratch buffer.
+void SortRuns(std::vector<EdgeIdx>& row_offsets, std::vector<VertexId>& col_indices,
+              std::vector<Weight>& weights, VertexId vertex_count,
+              ThreadPool& pool, uint32_t threads) {
+  const auto sort_range = [&](size_t vbegin, size_t vend) {
+    std::vector<std::pair<VertexId, Weight>> run;
+    for (size_t v = vbegin; v < vend; ++v) {
+      const EdgeIdx lo = row_offsets[v];
+      const EdgeIdx hi = row_offsets[v + 1];
+      run.clear();
+      run.reserve(hi - lo);
+      for (EdgeIdx i = lo; i < hi; ++i) {
+        run.emplace_back(col_indices[i], weights[i]);
+      }
+      std::sort(run.begin(), run.end());
+      for (EdgeIdx i = lo; i < hi; ++i) {
+        col_indices[i] = run[i - lo].first;
+        weights[i] = run[i - lo].second;
+      }
+    }
+  };
+  if (threads <= 1 || vertex_count < 4096) {
+    sort_range(0, vertex_count);
+    return;
+  }
+  pool.ParallelFor(0, vertex_count, SuggestedGrain(vertex_count, threads, 1024),
+                   threads,
+                   [&](const ParallelChunk& c) { sort_range(c.begin, c.end); });
+}
+
+}  // namespace
 
 Csr Csr::FromEdges(const EdgeList& edges, VertexId vertex_count) {
   Csr csr;
@@ -12,36 +53,90 @@ Csr Csr::FromEdges(const EdgeList& edges, VertexId vertex_count) {
   csr.col_indices_.resize(edges.size());
   csr.weights_.resize(edges.size());
 
-  // Counting sort by source: one pass to count degrees, prefix sum, one pass
-  // to scatter. O(V + E) regardless of input order.
-  for (const Edge& e : edges) {
-    ++csr.row_offsets_[e.src + 1];
-  }
-  std::partial_sum(csr.row_offsets_.begin(), csr.row_offsets_.end(),
-                   csr.row_offsets_.begin());
-  std::vector<EdgeIdx> cursor(csr.row_offsets_.begin(), csr.row_offsets_.end() - 1);
-  for (const Edge& e : edges) {
-    const EdgeIdx slot = cursor[e.src]++;
-    csr.col_indices_[slot] = e.dst;
-    csr.weights_[slot] = e.weight;
+  ThreadPool& pool = ThreadPool::Global();
+  const uint32_t threads = pool.max_threads();
+
+  // The slab histograms cost slabs * V words; only worth it when the edge
+  // list dominates the vertex count.
+  if (threads <= 1 || edges.size() < kParallelBuildMinEdges ||
+      csr.vertex_count_ > edges.size()) {
+    // Counting sort by source: one pass to count degrees, prefix sum, one
+    // pass to scatter. O(V + E) regardless of input order.
+    for (const Edge& e : edges) {
+      ++csr.row_offsets_[e.src + 1];
+    }
+    std::partial_sum(csr.row_offsets_.begin(), csr.row_offsets_.end(),
+                     csr.row_offsets_.begin());
+    std::vector<EdgeIdx> cursor(csr.row_offsets_.begin(),
+                                csr.row_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      const EdgeIdx slot = cursor[e.src]++;
+      csr.col_indices_[slot] = e.dst;
+      csr.weights_[slot] = e.weight;
+    }
+  } else {
+    // Parallel counting sort: the edge list splits into one contiguous slab
+    // per thread slot; each slab owns a private degree histogram, and every
+    // vertex's run is laid out slab-by-slab — which IS edge-list order,
+    // because slabs are contiguous input ranges. The subsequent per-run sort
+    // is order-insensitive anyway, so the final CSR is bit-identical to the
+    // sequential build for any slab count. Slabs are capped: each one costs
+    // a V-word histogram, and past a handful the build is memory-bound.
+    const uint32_t slabs = std::min(threads, 16u);
+    const size_t slab_size = (edges.size() + slabs - 1) / slabs;
+    std::vector<std::vector<EdgeIdx>> histogram(slabs);
+    pool.ParallelFor(0, slabs, 1, threads, [&](const ParallelChunk& c) {
+      for (size_t s = c.begin; s < c.end; ++s) {
+        auto& counts = histogram[s];
+        counts.assign(csr.vertex_count_, 0);
+        const size_t lo = s * slab_size;
+        const size_t hi = std::min(edges.size(), lo + slab_size);
+        for (size_t i = lo; i < hi; ++i) {
+          ++counts[edges[i].src];
+        }
+      }
+    });
+    for (VertexId v = 0; v < csr.vertex_count_; ++v) {
+      EdgeIdx degree = 0;
+      for (uint32_t s = 0; s < slabs; ++s) {
+        degree += histogram[s][v];
+      }
+      csr.row_offsets_[v + 1] = degree;
+    }
+    std::partial_sum(csr.row_offsets_.begin(), csr.row_offsets_.end(),
+                     csr.row_offsets_.begin());
+    // Turn each slab's histogram into its per-vertex write cursor: run start
+    // plus the space earlier slabs consume.
+    pool.ParallelFor(0, csr.vertex_count_,
+                     SuggestedGrain(csr.vertex_count_, threads, 4096), threads,
+                     [&](const ParallelChunk& c) {
+                       for (size_t v = c.begin; v < c.end; ++v) {
+                         EdgeIdx cursor = csr.row_offsets_[v];
+                         for (uint32_t s = 0; s < slabs; ++s) {
+                           const EdgeIdx count = histogram[s][v];
+                           histogram[s][v] = cursor;
+                           cursor += count;
+                         }
+                       }
+                     });
+    pool.ParallelFor(0, slabs, 1, threads, [&](const ParallelChunk& c) {
+      for (size_t s = c.begin; s < c.end; ++s) {
+        auto& cursor = histogram[s];
+        const size_t lo = s * slab_size;
+        const size_t hi = std::min(edges.size(), lo + slab_size);
+        for (size_t i = lo; i < hi; ++i) {
+          const EdgeIdx slot = cursor[edges[i].src]++;
+          csr.col_indices_[slot] = edges[i].dst;
+          csr.weights_[slot] = edges[i].weight;
+        }
+      }
+    });
   }
 
   // Sort each adjacency run by destination so that neighbor scans are ordered
   // (the ballot filter and tests rely on deterministic neighbor order).
-  for (VertexId v = 0; v < csr.vertex_count_; ++v) {
-    const EdgeIdx lo = csr.row_offsets_[v];
-    const EdgeIdx hi = csr.row_offsets_[v + 1];
-    std::vector<std::pair<VertexId, Weight>> run;
-    run.reserve(hi - lo);
-    for (EdgeIdx i = lo; i < hi; ++i) {
-      run.emplace_back(csr.col_indices_[i], csr.weights_[i]);
-    }
-    std::sort(run.begin(), run.end());
-    for (EdgeIdx i = lo; i < hi; ++i) {
-      csr.col_indices_[i] = run[i - lo].first;
-      csr.weights_[i] = run[i - lo].second;
-    }
-  }
+  SortRuns(csr.row_offsets_, csr.col_indices_, csr.weights_, csr.vertex_count_,
+           pool, threads);
   return csr;
 }
 

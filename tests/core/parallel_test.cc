@@ -1,0 +1,224 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "algos/algos.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), 7, 4, [&](const ParallelChunk& c) {
+    for (size_t i = c.begin; i < c.end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesDependOnlyOnGrain) {
+  // Same grain, different thread counts: identical chunk decomposition.
+  for (uint32_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    std::mutex m;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    pool.ParallelFor(3, 103, 10, threads, [&](const ParallelChunk& c) {
+      std::lock_guard<std::mutex> lock(m);
+      chunks.emplace_back(c.begin, c.end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    ASSERT_EQ(chunks.size(), 10u) << threads;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      EXPECT_EQ(chunks[i].first, 3 + i * 10);
+      EXPECT_EQ(chunks[i].second, std::min<size_t>(103, 3 + (i + 1) * 10));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 10, 4, [&](const ParallelChunk&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 1, 1024, 4, [&](const ParallelChunk& c) {
+    total += static_cast<int>(c.end - c.begin);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPoolTest, ThreadIndicesWithinRequestedCap) {
+  ThreadPool pool(8);
+  std::atomic<uint32_t> max_index{0};
+  pool.ParallelFor(0, 10000, 16, 3, [&](const ParallelChunk& c) {
+    uint32_t seen = max_index.load();
+    while (c.thread_index > seen &&
+           !max_index.compare_exchange_weak(seen, c.thread_index)) {
+    }
+  });
+  EXPECT_LT(max_index.load(), 3u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, 4, [&](const ParallelChunk&) {
+    // Nested call must run inline (and not deadlock).
+    pool.ParallelFor(0, 10, 3, 4,
+                     [&](const ParallelChunk& c) {
+                       total += static_cast<int>(c.end - c.begin);
+                     });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, OrderedReduceMatchesSerialFold) {
+  ThreadPool pool(4);
+  // Floating-point fold where grouping matters: the ordered reduction must
+  // match the chunk-order serial fold exactly, every time.
+  std::vector<double> values(10000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  const size_t grain = 97;
+  auto run = [&](uint32_t threads) {
+    return OrderedReduce<double>(
+        pool, 0, values.size(), grain, threads, 0.0,
+        [&](const ParallelChunk& c, double& acc) {
+          for (size_t i = c.begin; i < c.end; ++i) {
+            acc += values[i];
+          }
+        },
+        [](double& total, const double& part) { total += part; });
+  };
+  const double serial = run(1);
+  for (int rep = 0; rep < 5; ++rep) {
+    const double parallel = run(4);
+    EXPECT_EQ(serial, parallel);  // bitwise, not near
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int job = 0; job < 200; ++job) {
+    std::atomic<long> sum{0};
+    pool.ParallelFor(0, 1000, 50, 4, [&](const ParallelChunk& c) {
+      long local = 0;
+      for (size_t i = c.begin; i < c.end; ++i) {
+        local += static_cast<long>(i);
+      }
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+  }
+}
+
+// --- Engine determinism: the contract the whole runtime is built around.
+// host_threads must be a pure wall-clock knob: every simulated statistic and
+// every output value byte-identical to the single-threaded run. ---
+
+template <typename Value>
+void ExpectIdenticalRuns(const RunResult<Value>& a, const RunResult<Value>& b) {
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  EXPECT_EQ(a.stats.oom, b.stats.oom);
+  EXPECT_EQ(a.stats.failed, b.stats.failed);
+  EXPECT_EQ(a.stats.converged, b.stats.converged);
+  EXPECT_EQ(a.stats.total_active, b.stats.total_active);
+  EXPECT_EQ(a.stats.total_edges_processed, b.stats.total_edges_processed);
+  EXPECT_EQ(a.stats.counters.coalesced_words, b.stats.counters.coalesced_words);
+  EXPECT_EQ(a.stats.counters.scattered_words, b.stats.counters.scattered_words);
+  EXPECT_EQ(a.stats.counters.atomic_ops, b.stats.counters.atomic_ops);
+  EXPECT_EQ(a.stats.counters.atomic_conflicts, b.stats.counters.atomic_conflicts);
+  EXPECT_EQ(a.stats.counters.alu_ops, b.stats.counters.alu_ops);
+  EXPECT_EQ(a.stats.counters.kernel_launches, b.stats.counters.kernel_launches);
+  EXPECT_EQ(a.stats.counters.barrier_crossings,
+            b.stats.counters.barrier_crossings);
+  // Bitwise: these are computed from the counters, so any divergence means a
+  // counter raced.
+  EXPECT_EQ(a.stats.time.ms, b.stats.time.ms);
+  EXPECT_EQ(a.stats.time.cycles, b.stats.time.cycles);
+  EXPECT_EQ(a.stats.serial_ms, b.stats.serial_ms);
+  EXPECT_EQ(a.stats.filter_pattern, b.stats.filter_pattern);
+  EXPECT_EQ(a.stats.direction_pattern, b.stats.direction_pattern);
+  EXPECT_EQ(a.stats.device_bytes_needed, b.stats.device_bytes_needed);
+  ASSERT_EQ(a.stats.iteration_logs.size(), b.stats.iteration_logs.size());
+  for (size_t i = 0; i < a.stats.iteration_logs.size(); ++i) {
+    EXPECT_EQ(a.stats.iteration_logs[i].frontier_size,
+              b.stats.iteration_logs[i].frontier_size);
+    EXPECT_EQ(a.stats.iteration_logs[i].edges_processed,
+              b.stats.iteration_logs[i].edges_processed);
+    EXPECT_EQ(a.stats.iteration_logs[i].filter, b.stats.iteration_logs[i].filter);
+    EXPECT_EQ(a.stats.iteration_logs[i].direction,
+              b.stats.iteration_logs[i].direction);
+    EXPECT_EQ(a.stats.iteration_logs[i].ms, b.stats.iteration_logs[i].ms);
+  }
+}
+
+EngineOptions OptionsWithThreads(uint32_t host_threads) {
+  EngineOptions o;
+  o.host_threads = host_threads;
+  return o;
+}
+
+TEST(EngineHostThreadsDeterminismTest, PageRankOnRmat) {
+  const Graph g = Graph::FromEdges(GenerateRmat(12, 8, 7), /*directed=*/true);
+  const auto serial = RunPageRank(g, MakeK40(), OptionsWithThreads(1));
+  ASSERT_TRUE(serial.stats.ok());
+  // Pull-heavy workload: the frontier stays wide for most iterations.
+  ASSERT_NE(serial.stats.direction_pattern.find('P'), std::string::npos);
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto parallel = RunPageRank(g, MakeK40(), OptionsWithThreads(8));
+    ExpectIdenticalRuns(serial, parallel);
+  }
+}
+
+TEST(EngineHostThreadsDeterminismTest, SsspOnRmat) {
+  const Graph g = Graph::FromEdges(GenerateRmat(12, 8, 11), /*directed=*/false);
+  VertexId source = 0;
+  uint32_t best = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.OutDegree(v) > best) {
+      best = g.OutDegree(v);
+      source = v;
+    }
+  }
+  const auto serial = RunSssp(g, source, MakeK40(), OptionsWithThreads(1));
+  ASSERT_TRUE(serial.stats.ok());
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto parallel = RunSssp(g, source, MakeK40(), OptionsWithThreads(8));
+    ExpectIdenticalRuns(serial, parallel);
+  }
+}
+
+TEST(EngineHostThreadsDeterminismTest, BfsBallotHeavy) {
+  // Undirected RMAT floods in a couple of iterations: exercises the parallel
+  // ballot scan + vote early-exit pull path.
+  const Graph g = Graph::FromEdges(GenerateRmat(12, 16, 3), /*directed=*/false);
+  const auto serial = RunBfs(g, 0, MakeK40(), OptionsWithThreads(1));
+  ASSERT_TRUE(serial.stats.ok());
+  const auto parallel = RunBfs(g, 0, MakeK40(), OptionsWithThreads(8));
+  ExpectIdenticalRuns(serial, parallel);
+}
+
+TEST(EngineHostThreadsDeterminismTest, AutoThreadsMatchesSerial) {
+  const Graph g = Graph::FromEdges(GenerateRmat(11, 8, 5), /*directed=*/true);
+  const auto serial = RunPageRank(g, MakeK40(), OptionsWithThreads(1));
+  const auto auto_threads = RunPageRank(g, MakeK40(), OptionsWithThreads(0));
+  ExpectIdenticalRuns(serial, auto_threads);
+}
+
+}  // namespace
+}  // namespace simdx

@@ -74,7 +74,9 @@ TEST(GeneratorsTest, PaperFigure1GraphShape) {
 }
 
 TEST(GeneratorsTest, WeightsWithinCeiling) {
-  for (const Edge& e : GenerateRmat(8, 4, 3, RmatParams{}, 32).edges()) {
+  // Bind the list first: ranging over `.edges()` of a temporary dangles.
+  const EdgeList list = GenerateRmat(8, 4, 3, RmatParams{}, 32);
+  for (const Edge& e : list.edges()) {
     EXPECT_GE(e.weight, 1u);
     EXPECT_LE(e.weight, 32u);
   }
