@@ -1,15 +1,19 @@
 // Host wall-clock scaling of the simulator's parallel runtime.
 //
 // Unlike every other bench (which reports SIMULATED time), this one measures
-// how long the simulator itself takes on the host for PageRank and BFS over
-// a ~1M-edge R-MAT graph at 1/2/4/8 host threads, and verifies the
-// determinism contract along the way: the simulated statistics (counters,
-// simulated ms, filter/direction patterns, values) must be byte-identical at
-// every thread count. Emits JSON (stdout, or --json <path>) so future PRs
-// can track the perf trajectory.
+// how long the simulator itself takes on the host, over a ~1M-edge R-MAT
+// graph at 1/2/4/8 host threads, for the full algorithm suite — push-heavy
+// (BFS, SSSP), pull-heavy (PageRank, BP) and mixed (WCC, k-Core) — and
+// verifies the determinism contract along the way: the simulated statistics
+// (counters, simulated ms, filter/direction patterns, values) must be
+// byte-identical at every thread count. Emits JSON (stdout, or
+// --json <path>) so future PRs can track the perf trajectory.
 //
 //   host_scaling [--scale N] [--edge-factor N] [--threads 1,2,4,8]
-//                [--repeats N] [--json out.json]
+//                [--repeats N] [--json out.json] [--smoke]
+//
+// --smoke: CI divergence gate — scale 13, 1 repeat, threads {1,2} (no
+// speedup expectations, exit code reflects determinism only).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -72,10 +76,14 @@ Args Parse(int argc, char** argv) {
           args.threads.push_back(ParseU32(token, "--threads"));
         }
       }
+    } else if (a == "--smoke") {
+      args.scale = 13;
+      args.repeats = 1;
+      args.threads = {1, 2};
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--scale N] [--edge-factor N] [--threads 1,2,4,8]"
-                   " [--repeats N] [--json out.json]\n";
+                   " [--repeats N] [--json out.json] [--smoke]\n";
       std::exit(2);
     }
   }
@@ -175,22 +183,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  const auto options = [](uint32_t threads) {
+    EngineOptions o;
+    o.host_threads = threads;
+    return o;
+  };
   std::vector<Sample> samples;
+  // Pull-heavy programs (wide frontiers gather most iterations).
   Measure(
       "pagerank", args,
-      [&](uint32_t threads) {
-        EngineOptions o;
-        o.host_threads = threads;
-        return RunPageRank(g, device, o, /*epsilon=*/1e-8);
-      },
+      [&](uint32_t t) { return RunPageRank(g, device, options(t), 1e-8); },
       samples);
   Measure(
+      "bp", args, [&](uint32_t t) { return RunBp(g, 10, device, options(t)); },
+      samples);
+  // Push-heavy programs (thin frontiers scatter through the per-chunk
+  // update buffers + ordered replay).
+  Measure(
       "bfs", args,
-      [&](uint32_t threads) {
-        EngineOptions o;
-        o.host_threads = threads;
-        return RunBfs(g, source, device, o);
-      },
+      [&](uint32_t t) { return RunBfs(g, source, device, options(t)); },
+      samples);
+  Measure(
+      "sssp", args,
+      [&](uint32_t t) { return RunSssp(g, source, device, options(t)); },
+      samples);
+  // Mixed-direction programs.
+  Measure(
+      "wcc", args, [&](uint32_t t) { return RunWcc(g, device, options(t)); },
+      samples);
+  Measure(
+      "kcore", args,
+      [&](uint32_t t) { return RunKCore(g, 16, device, options(t)); },
       samples);
 
   // Cross-thread-count determinism: one fingerprint per algorithm.

@@ -78,13 +78,16 @@ struct PageRankProgram {
            std::abs(after.rank - before.rank) > 1e-15;
   }
 
-  // After a push, the whole current residual has been distributed; after a
-  // pull iteration, out-neighbors read the residual as of the last commit
-  // (prev), so exactly that amount is consumed.
-  Value ConsumeActivity(const Value& curr, const Value& prev, Direction dir) const {
-    if (dir == Direction::kPush) {
-      return Value{curr.rank, 0.0};
-    }
+  // Both directions distribute the residual as of the last frontier commit
+  // (prev): pull gathers read prev outright, and the engine's BSP push
+  // computes shares from the phase-start snapshot of curr — which equals
+  // prev, since nothing touches curr between the commit and the push phase.
+  // Consuming exactly prev.residual (rather than zeroing) preserves
+  // same-phase arrivals that the deferred push replay lands in curr before
+  // this vertex's consume — they are activity the neighbors have NOT seen
+  // yet and must survive to the next iteration.
+  Value ConsumeActivity(const Value& curr, const Value& prev,
+                        Direction /*dir*/) const {
     return Value{curr.rank, curr.residual - prev.residual};
   }
 

@@ -321,6 +321,90 @@ std::vector<double> CpuBp(const Graph& g, uint32_t rounds, double damping,
   return belief;
 }
 
+namespace {
+
+// Per-chunk buffer for the push-mode oracles: (dst, contribution) records in
+// source order, replayed in ascending chunk order so deposits land per
+// destination in ascending-source order — matching the summation order of
+// the pull oracles' sorted in-runs bit for bit.
+struct ScatterBuffer {
+  std::vector<std::pair<VertexId, double>> updates;
+};
+
+// One push sweep: for every source v (ascending), emit contrib(v) — times
+// the edge weight when `weighted` (SpMV; PageRank's oracle is unweighted) —
+// to each out-neighbor, accumulating into `out` via ordered replay.
+template <typename ContribFn>
+void PushScatter(const Graph& g, bool weighted,
+                 std::vector<ScatterBuffer>& buffers, const ContribFn& contrib,
+                 std::vector<double>& out) {
+  ThreadPool& pool = ThreadPool::Global();
+  CollectAndDrain(
+      &pool, pool.max_threads(), g.vertex_count(), /*min_grain=*/1024,
+      /*serial_below=*/4096, buffers,
+      [&](const ParallelChunk& c, ScatterBuffer& buf) {
+        buf.updates.clear();
+        for (size_t v = c.begin; v < c.end; ++v) {
+          const double share = contrib(static_cast<VertexId>(v));
+          if (share == 0.0) {
+            continue;
+          }
+          const auto nbrs = g.out().Neighbors(static_cast<VertexId>(v));
+          const auto wts = g.out().NeighborWeights(static_cast<VertexId>(v));
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            buf.updates.emplace_back(
+                nbrs[i],
+                weighted ? share * static_cast<double>(wts[i]) : share);
+          }
+        }
+      },
+      [&](const ScatterBuffer& buf) {
+        for (const auto& [dst, value] : buf.updates) {
+          out[dst] += value;
+        }
+      });
+}
+
+}  // namespace
+
+std::vector<double> CpuPageRankPush(const Graph& g, double damping,
+                                    double tolerance, uint32_t max_iters) {
+  const VertexId n = g.vertex_count();
+  const double base = (1.0 - damping) / n;
+  std::vector<double> rank(n, base);
+  std::vector<double> next(n);
+  std::vector<ScatterBuffer> buffers;
+  for (uint32_t iter = 0; iter < max_iters; ++iter) {
+    next.assign(n, base);
+    // Each source scatters damping * rank / outdeg along unit edges. The
+    // in-runs the pull oracle gathers over are sorted by source, so the
+    // ascending-source deposit order here reproduces its FP sums exactly.
+    PushScatter(
+        g, /*weighted=*/false, buffers,
+        [&](VertexId v) {
+          const uint32_t degree = g.OutDegree(v);
+          return degree == 0 ? 0.0 : damping * rank[v] / degree;
+        },
+        next);
+    double l1 = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      l1 += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (l1 < tolerance) {
+      break;
+    }
+  }
+  return rank;
+}
+
+std::vector<double> CpuSpmvPush(const Graph& g, const std::vector<double>& x) {
+  std::vector<double> y(g.vertex_count(), 0.0);
+  std::vector<ScatterBuffer> buffers;
+  PushScatter(g, /*weighted=*/true, buffers, [&](VertexId v) { return x[v]; }, y);
+  return y;
+}
+
 std::vector<double> CpuSpmv(const Graph& g, const std::vector<double>& x) {
   std::vector<double> y(g.vertex_count(), 0.0);
   // Row-parallel gather over the in-CSR; deposit order per row matches the

@@ -49,6 +49,19 @@ std::vector<double> CpuBp(const Graph& g, uint32_t rounds, double damping = 0.5,
 // in-edges of the transpose — i.e. SpmvProgram on the same Graph).
 std::vector<double> CpuSpmv(const Graph& g, const std::vector<double>& x);
 
+// Push-mode (scatter) forms of the PageRank and SpMV oracles, host-parallel
+// via the same per-chunk-buffer collect + ordered-replay scheme as the
+// engine's push phase (core/parallel.h CollectAndDrain) but sharing no code
+// with it. Deposits land per destination in ascending-source order — the
+// exact order of the sorted in-adjacency runs the pull forms gather over —
+// so these return BIT-IDENTICAL vectors to CpuPageRank/CpuSpmv for any
+// thread count, giving the engine's push path an independently parallel
+// cross-check.
+std::vector<double> CpuPageRankPush(const Graph& g, double damping = 0.85,
+                                    double tolerance = 1e-12,
+                                    uint32_t max_iters = 1000);
+std::vector<double> CpuSpmvPush(const Graph& g, const std::vector<double>& x);
+
 }  // namespace simdx
 
 #endif  // SIMDX_BASELINES_CPU_REFERENCE_H_

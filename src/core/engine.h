@@ -10,14 +10,19 @@
 // kernel launch and barrier crossing is charged to CostCounters and
 // converted to simulated time per-iteration at that iteration's occupancy.
 //
-// Buffering model (see acc.h): push reads curr, pull reads prev; prev is
-// synchronized to curr at every frontier commit, so Active(curr, prev)
-// during an iteration means exactly "changed since the last commit" — the
-// predicate the ballot filter scans.
+// Buffering model (see acc.h): both directions are BSP. Pull reads prev
+// (frozen all iteration); push reads the phase-start snapshot of curr —
+// identical to curr at collect time, because every push write is deferred
+// into per-chunk buffers and replayed after the collect (push_buffer.h).
+// prev is synchronized to curr at every frontier commit, so
+// Active(curr, prev) during an iteration means exactly "changed since the
+// last commit" — the predicate the ballot filter scans.
 #ifndef SIMDX_CORE_ENGINE_H_
 #define SIMDX_CORE_ENGINE_H_
 
 #include <algorithm>
+#include <array>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -27,6 +32,7 @@
 #include "core/metadata.h"
 #include "core/options.h"
 #include "core/parallel.h"
+#include "core/push_buffer.h"
 #include "core/result.h"
 #include "core/worklist.h"
 #include "graph/graph.h"
@@ -130,17 +136,28 @@ class Engine {
       IterationInfo info;
       info.iteration = iter;
       info.frontier_size = frontier.size();
-      // One walk over the frontier reads every degree exactly once,
-      // producing the out-edge sum the direction heuristic needs AND the
-      // Thread/Warp/CTA lists a push iteration will consume (classification
-      // is not charged to the simulated counters, so running it regardless
-      // of the eventual direction changes no statistic).
-      info.frontier_out_edges =
-          options_.classify_worklists
-              ? classifier_.Classify(frontier, graph_, options_.small_degree_limit,
-                                     options_.medium_degree_limit, pool_,
-                                     host_threads_)
-              : classifier_.OutEdgeSum(frontier, graph_, pool_, host_threads_);
+      // Lazy classification: the Thread/Warp/CTA bins are only consumed by
+      // push iterations, but the direction heuristic needs the frontier's
+      // out-edge sum before the direction is known. Predict this iteration's
+      // direction from the previous one (deterministic — prev_dir is part of
+      // the simulated state): on a predicted push, one fused walk produces
+      // the degree sum AND the bins; on a predicted pull, the cheaper
+      // sum-only walk runs and a misprediction pays one extra classification
+      // pass below. Classification is never charged to the simulated
+      // counters, so none of this changes any statistic — it only stops
+      // pull-heavy runs from building bins they discard.
+      bool lists_ready = false;
+      if (options_.classify_worklists &&
+          (prev_dir == Direction::kPush || options_.force_push)) {
+        info.frontier_out_edges =
+            classifier_.Classify(frontier, graph_, options_.small_degree_limit,
+                                 options_.medium_degree_limit, pool_,
+                                 host_threads_);
+        lists_ready = true;
+      } else {
+        info.frontier_out_edges =
+            classifier_.OutEdgeSum(frontier, graph_, pool_, host_threads_);
+      }
       info.vertex_count = graph_.vertex_count();
       info.edge_count = graph_.edge_count();
       info.previous_direction = prev_dir;
@@ -162,9 +179,17 @@ class Engine {
       uint64_t edges_processed = 0;
       if (dir == Direction::kPush) {
         if (options_.classify_worklists) {
+          if (!lists_ready) {
+            // Direction mispredicted (previous iteration pulled): build the
+            // bins now. Uncharged, so the stats stay identical to the old
+            // always-classify walk.
+            classifier_.Classify(frontier, graph_, options_.small_degree_limit,
+                                 options_.medium_degree_limit, pool_,
+                                 host_threads_);
+          }
           const WorkLists& lists = classifier_.result();
-          edges_processed =
-              ProcessPush(program, meta, lists, frontier_sorted, jit, it_cost);
+          edges_processed = ProcessPush(program, meta, lists.Views(),
+                                        frontier_sorted, jit, it_cost);
           last_stage_count_ = (lists.small.empty() ? 0u : 1u) +
                               (lists.medium.empty() ? 0u : 1u) +
                               (lists.large.empty() ? 0u : 1u);
@@ -172,8 +197,10 @@ class Engine {
           // Thread-per-vertex scheduling: a warp stalls until its slowest
           // lane (largest adjacency) finishes — charge the idle-lane cycles.
           it_cost.alu_ops += DivergencePenalty(frontier);
-          edges_processed = PushList(program, meta, frontier, KernelClass::kThread,
-                                     frontier_sorted, jit, it_cost);
+          const std::array<WorkListView, 1> whole = {
+              ViewOf(frontier, KernelClass::kThread)};
+          edges_processed =
+              ProcessPush(program, meta, whole, frontier_sorted, jit, it_cost);
           last_stage_count_ = frontier.empty() ? 0u : 1u;
         }
       } else {
@@ -355,27 +382,88 @@ class Engine {
     }
   }
 
-  // --- push: iterate the frontier's out-edges, scatter updates ---
+  // --- push: deterministic collect-then-replay over per-chunk update
+  // buffers (push_buffer.h) ---
+  //
+  // The sequential push loop both READS source values and WRITES destination
+  // values of the same curr array, so it cannot split across host threads in
+  // place. Instead the phase runs in two passes:
+  //
+  //   COLLECT (parallel): each chunk of each Thread/Warp/CTA list walks its
+  //   contiguous slice, runs Compute against the phase-start metadata —
+  //   nothing writes curr during collection, so curr(v) IS the snapshot —
+  //   charges the traversal costs to its chunk-private counters, and buffers
+  //   one (dst, worker, candidate) record per out-edge.
+  //
+  //   REPLAY (ordered): buffers drain in ascending chunk order — which is
+  //   exactly list order, independent of grain and thread count — performing
+  //   Apply, the curr writes, the atomic-contention stamps, the online-
+  //   filter records and ConsumeActivity in the statement order a sequential
+  //   walk of the same records would. Every simulated stat, touch stamp and
+  //   output value is therefore bit-identical for any host_threads.
+  //
+  // Semantics: push iterations are BSP (Jacobi-style), like pull and like
+  // the real double-buffered kernels — a candidate computed this phase never
+  // observes a value written this phase; same-phase arrivals land in curr
+  // and re-activate their destination for the NEXT iteration. Residual-
+  // carrying programs consume exactly the snapshot amount they distributed
+  // (see PageRankProgram::ConsumeActivity), so no activity is lost.
   uint64_t ProcessPush(const Program& program, VertexMeta<Value>& meta,
-                       const WorkLists& lists, bool frontier_sorted,
+                       std::span<const WorkListView> views, bool frontier_sorted,
                        JitController& jit, CostCounters& cost) {
-    uint64_t edges = 0;
-    edges += PushList(program, meta, lists.small, KernelClass::kThread,
-                      frontier_sorted, jit, cost);
-    edges += PushList(program, meta, lists.medium, KernelClass::kWarp,
-                      frontier_sorted, jit, cost);
-    edges += PushList(program, meta, lists.large, KernelClass::kCta,
-                      frontier_sorted, jit, cost);
-    return edges;
+    uint32_t num_buffers = 0;
+    for (const WorkListView& view : views) {
+      num_buffers += CollectPush(program, meta, view, frontier_sorted, num_buffers);
+    }
+    return ReplayPush(program, meta, num_buffers, jit, cost);
   }
 
-  uint64_t PushList(const Program& program, VertexMeta<Value>& meta,
-                    const std::vector<VertexId>& list, KernelClass klass,
-                    bool frontier_sorted, JitController& jit, CostCounters& cost) {
+  // Collect phase for one list: chunk it, fill push_buffers_[base ..
+  // base+chunks). Grain floors shrink with kernel class — a CTA-class vertex
+  // carries at least medium_degree_limit edges, so far fewer of them make a
+  // worthwhile chunk. Chunk boundaries never affect results (the replay
+  // drains in list order regardless), so the serial path may legally use a
+  // single chunk.
+  uint32_t CollectPush(const Program& program, const VertexMeta<Value>& meta,
+                       const WorkListView& view, bool frontier_sorted,
+                       uint32_t base) {
+    if (view.empty()) {
+      return 0;
+    }
+    size_t min_grain = 256;
+    if (view.klass == KernelClass::kWarp) {
+      min_grain = 32;
+    } else if (view.klass == KernelClass::kCta) {
+      min_grain = 4;
+    }
+    const ChunkPlan plan = PlanChunks(view.size, host_threads_, min_grain,
+                                      /*serial_below=*/512, pool_ != nullptr);
+    if (push_buffers_.size() < base + plan.chunks) {
+      push_buffers_.resize(base + plan.chunks);
+    }
+    if (plan.chunks == 1) {
+      push_buffers_[base].Clear();
+      CollectPushRange(program, meta, view, frontier_sorted, 0, view.size,
+                       push_buffers_[base]);
+    } else {
+      pool_->ParallelFor(0, view.size, plan.grain, host_threads_,
+                         [&](const ParallelChunk& c) {
+                           PushBuffer<Value>& buf =
+                               push_buffers_[base + c.chunk_index];
+                           buf.Clear();
+                           CollectPushRange(program, meta, view, frontier_sorted,
+                                            c.begin, c.end, buf);
+                         });
+    }
+    return plan.chunks;
+  }
+
+  void CollectPushRange(const Program& program, const VertexMeta<Value>& meta,
+                        const WorkListView& view, bool frontier_sorted,
+                        size_t begin, size_t end, PushBuffer<Value>& buf) const {
     const uint32_t workers = options_.sim_worker_threads;
-    uint64_t edges = 0;
-    for (size_t idx = 0; idx < list.size(); ++idx) {
-      const VertexId v = list[idx];
+    for (size_t idx = begin; idx < end; ++idx) {
+      const VertexId v = view[idx];
       const auto nbrs = graph_.out().Neighbors(v);
       const auto wts = graph_.out().NeighborWeights(v);
       const uint32_t degree = static_cast<uint32_t>(nbrs.size());
@@ -384,55 +472,80 @@ class Engine {
       // sorted (ballot-filter output), scattered otherwise — the memory
       // benefit Section 4 attributes to the ballot filter.
       if (frontier_sorted) {
-        cost.coalesced_words += 3;
+        buf.cost.coalesced_words += 3;
       } else {
-        cost.scattered_words += 3;
+        buf.cost.scattered_words += 3;
       }
       // Adjacency ids + weights. The Warp/CTA kernels read them coalesced,
       // rounded up to full 32-lane transactions; the Thread kernel's lanes
       // walk unrelated adjacency runs (partial coalescing).
-      if (klass == KernelClass::kThread) {
-        cost.coalesced_words += 2ull * degree;
-        cost.scattered_words += degree / 4;
+      if (view.klass == KernelClass::kThread) {
+        buf.cost.coalesced_words += 2ull * degree;
+        buf.cost.scattered_words += degree / 4;
       } else {
         const uint32_t rounded = (degree + 31) / 32 * 32;
-        cost.coalesced_words += 2ull * rounded;
+        buf.cost.coalesced_words += 2ull * rounded;
       }
 
+      buf.BeginSource(v);
       for (uint32_t i = 0; i < degree; ++i) {
-        const VertexId u = nbrs[i];
-        cost.scattered_words += 1;  // load destination metadata
-        cost.alu_ops += 2;          // Compute + Combine lane work
-        const Value cand =
-            program.Compute(v, u, wts[i], meta.curr(v), Direction::kPush);
-        const Value applied =
-            program.Apply(u, cand, meta.curr(u), Direction::kPush);
-        if (options_.use_atomic_updates) {
-          // AFC-style: every candidate lands as a device atomic; concurrent
-          // candidates for the same destination serialize (Figure 5's
-          // aggregation overhead).
-          cost.atomic_ops += 1;
-          if (touch_stamp_[u] == stamp_) {
-            cost.atomic_conflicts += 1;
-          }
-          touch_stamp_[u] = stamp_;
-        }
+        buf.cost.scattered_words += 1;  // load destination metadata
+        buf.cost.alu_ops += 2;          // Compute + Combine lane work
         // Batch filter: this edge also transited the expanded active-edge
-        // list (3 words written at expansion, 3 read back here).
+        // list (3 words written at expansion, 3 read back at apply).
         if (options_.filter == FilterPolicy::kBatch) {
-          cost.coalesced_words += 6;
+          buf.cost.coalesced_words += 6;
         }
-        if (program.ValueChanged(meta.curr(u), applied)) {
-          meta.curr(u) = applied;
-          if (!options_.use_atomic_updates) {
-            cost.scattered_words += 1;  // single writer, no atomic (ACC)
-          }
-          MaybeRecord(program, meta, u, WorkerFor(idx, i, klass, workers), jit,
-                      cost);
-        }
-        ++edges;
+        buf.Append(nbrs[i], WorkerFor(idx, i, view.klass, workers),
+                   program.Compute(v, nbrs[i], wts[i], meta.curr(v),
+                                   Direction::kPush));
       }
-      Consume(program, meta, v, Direction::kPush);
+      buf.edges += degree;
+    }
+  }
+
+  // Replay phase: ordered drain. Per record, the statement sequence is
+  // exactly the tail of the old sequential edge loop; per source, the
+  // ConsumeActivity lands after its records, where the sequential loop
+  // consumed.
+  uint64_t ReplayPush(const Program& program, VertexMeta<Value>& meta,
+                      uint32_t num_buffers, JitController& jit,
+                      CostCounters& cost) {
+    uint64_t edges = 0;
+    for (uint32_t b = 0; b < num_buffers; ++b) {
+      cost += push_buffers_[b].cost;
+      edges += push_buffers_[b].edges;
+    }
+    for (uint32_t b = 0; b < num_buffers; ++b) {
+      const PushBuffer<Value>& buf = push_buffers_[b];
+      const auto& records = buf.records();
+      size_t r = 0;
+      for (const PushSourceSpan& span : buf.sources()) {
+        for (uint32_t i = 0; i < span.num_records; ++i, ++r) {
+          const PushRecord<Value>& rec = records[r];
+          const VertexId u = rec.dst;
+          const Value applied =
+              program.Apply(u, rec.cand, meta.curr(u), Direction::kPush);
+          if (options_.use_atomic_updates) {
+            // AFC-style: every candidate lands as a device atomic;
+            // concurrent candidates for the same destination serialize
+            // (Figure 5's aggregation overhead).
+            cost.atomic_ops += 1;
+            if (touch_stamp_[u] == stamp_) {
+              cost.atomic_conflicts += 1;
+            }
+            touch_stamp_[u] = stamp_;
+          }
+          if (program.ValueChanged(meta.curr(u), applied)) {
+            meta.curr(u) = applied;
+            if (!options_.use_atomic_updates) {
+              cost.scattered_words += 1;  // single writer, no atomic (ACC)
+            }
+            MaybeRecord(program, meta, u, rec.worker, jit, cost);
+          }
+        }
+        Consume(program, meta, span.src, Direction::kPush);
+      }
     }
     return edges;
   }
@@ -617,6 +730,10 @@ class Engine {
   FrontierClassifier classifier_;
   std::vector<VertexId> next_frontier_;
   std::vector<PullScratch> pull_scratch_;
+  // Per-chunk push update buffers (one per chunk slot across the three
+  // lists), reused across iterations; see push_buffer.h for the memory
+  // model.
+  std::vector<PushBuffer<Value>> push_buffers_;
   // Iteration-stamped "already recorded" marks (avoids duplicate bin
   // entries; the real system tolerates duplicates, our sequential apply
   // makes exactly-once recording the natural semantics).

@@ -2,6 +2,13 @@
 // `prev` holds the value at the last frontier generation so that
 // Active(curr, prev) — the ballot filter's scan predicate — can detect
 // vertices updated since then (paper Figure 4(a), SSSP's Active).
+//
+// Snapshot invariant the parallel runtime leans on: between SyncPrev (the
+// frontier commit) and the next iteration's first Apply, nothing writes
+// `curr` — the push collect pass and the pull gather both run in that
+// window, so they may read `curr`/`prev` concurrently from any number of
+// host threads with every write deferred to the ordered replay that
+// follows.
 #ifndef SIMDX_CORE_METADATA_H_
 #define SIMDX_CORE_METADATA_H_
 

@@ -182,4 +182,20 @@ size_t SuggestedGrain(size_t n, uint32_t threads, size_t min_grain, size_t align
   return std::max<size_t>(grain, 1);
 }
 
+ChunkPlan PlanChunks(size_t n, uint32_t threads, size_t min_grain,
+                     size_t serial_below, bool have_pool) {
+  ChunkPlan plan;
+  if (n == 0) {
+    return plan;
+  }
+  if (!have_pool || threads <= 1 || n < serial_below) {
+    plan.grain = n;
+    plan.chunks = 1;
+    return plan;
+  }
+  plan.grain = SuggestedGrain(n, threads, min_grain);
+  plan.chunks = ThreadPool::NumChunks(0, n, plan.grain);
+  return plan;
+}
+
 }  // namespace simdx

@@ -134,6 +134,62 @@ class ThreadPool {
 size_t SuggestedGrain(size_t n, uint32_t threads, size_t min_grain = 256,
                       size_t align = 1);
 
+// Decomposition of one range into chunks for a collect-then-drain pass:
+// grain via SuggestedGrain, plus the chunk count that per-chunk buffer pools
+// must be sized for. When the caller cannot (pool == nullptr) or should not
+// (threads <= 1, range below `serial_below`) go parallel, the plan collapses
+// to a single chunk — ordered drains are insensitive to chunk boundaries, so
+// the serial single-buffer pass and any parallel decomposition produce the
+// same drain sequence.
+struct ChunkPlan {
+  size_t grain = 1;
+  uint32_t chunks = 0;
+};
+
+ChunkPlan PlanChunks(size_t n, uint32_t threads, size_t min_grain,
+                     size_t serial_below, bool have_pool);
+
+// Deterministic collect-then-drain over per-chunk buffers: `fill` runs once
+// per chunk (in parallel when a pool is available and the range is worth
+// it), writing into `buffers[chunk_index]`; `drain` then runs once per
+// buffer in ascending chunk order on the calling thread. Because chunks are
+// contiguous slices and the drain is ordered, the observable drain sequence
+// equals the sequential left-to-right pass for ANY thread count and grain.
+// Used by the push-mode CPU oracles; the engine's push phase follows the
+// same collect/ordered-drain scheme but hand-rolls it, because its drain
+// must be deferred until ALL THREE Thread/Warp/CTA lists have collected
+// (draining per list would write metadata mid-phase and break the
+// phase-start-snapshot invariant). `buffers` is caller-owned and only ever
+// grown, so steady-state reuse allocates nothing; `fill` must reset its
+// buffer (buffers are reused dirty).
+template <typename Buffer, typename FillFn, typename DrainFn>
+void CollectAndDrain(ThreadPool* pool, uint32_t threads, size_t n,
+                     size_t min_grain, size_t serial_below,
+                     std::vector<Buffer>& buffers, const FillFn& fill,
+                     const DrainFn& drain) {
+  const ChunkPlan plan =
+      PlanChunks(n, threads, min_grain, serial_below, pool != nullptr);
+  if (plan.chunks == 0) {
+    return;
+  }
+  if (buffers.size() < plan.chunks) {
+    buffers.resize(plan.chunks);
+  }
+  if (plan.chunks == 1) {
+    ParallelChunk c;
+    c.begin = 0;
+    c.end = n;
+    fill(c, buffers[0]);
+  } else {
+    pool->ParallelFor(0, n, plan.grain, threads, [&](const ParallelChunk& c) {
+      fill(c, buffers[c.chunk_index]);
+    });
+  }
+  for (uint32_t i = 0; i < plan.chunks; ++i) {
+    drain(buffers[i]);
+  }
+}
+
 // Deterministic ordered reduction: runs `map` once per chunk in parallel,
 // then folds the per-chunk accumulators into `init` in ascending chunk order
 // on the calling thread. T must be default-constructible; `map` fills

@@ -1,0 +1,91 @@
+// Per-chunk update buffers for the deterministic parallel push phase.
+//
+// The push scatter writes arbitrary destinations, so it cannot run in place
+// from multiple threads without racing on metadata and counters. Instead the
+// engine splits it into two phases built on these buffers:
+//
+//   1. COLLECT (parallel): each ParallelFor chunk walks its contiguous slice
+//      of a Thread/Warp/CTA work list, runs Compute against the phase-start
+//      metadata snapshot (nothing mutates `curr` during collection), charges
+//      the traversal costs to the chunk-private `cost` counters, and appends
+//      one PushRecord per out-edge, grouped under a PushSourceSpan per
+//      source vertex.
+//   2. REPLAY (ordered): the engine drains the buffers in ascending chunk
+//      index order — which is exactly work-list order, independent of grain
+//      and thread count — performing Apply, the `curr` writes, the atomic-
+//      contention accounting, the online-filter recording and
+//      ConsumeActivity in the statement order a sequential walk would.
+//
+// Buffer memory model: one buffer per chunk, owned by the engine and reused
+// across iterations. Clear() keeps capacity, so after the first iteration at
+// a given frontier volume the steady state allocates nothing; a larger
+// iteration regrows the vectors (amortized doubling) and the capacity then
+// persists. Worst-case footprint is one record per pushed edge —
+// sizeof(PushRecord<Value>) * frontier out-edges across all buffers.
+#ifndef SIMDX_CORE_PUSH_BUFFER_H_
+#define SIMDX_CORE_PUSH_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "simt/cost_model.h"
+
+namespace simdx {
+
+// One deferred push update: the destination, the Compute candidate, and the
+// simulated worker lane that would have performed the update (it owns the
+// online-filter bin the activation lands in during replay).
+template <typename Value>
+struct PushRecord {
+  VertexId dst;
+  uint32_t worker;
+  Value cand;
+};
+
+// The edge records of one source vertex, in adjacency order. Replay calls
+// ConsumeActivity for `src` after its `num_records` records — the position
+// the sequential loop consumes at.
+struct PushSourceSpan {
+  VertexId src;
+  uint32_t num_records;
+};
+
+template <typename Value>
+class PushBuffer {
+ public:
+  // Collect-side charges for this chunk (header + adjacency + per-edge
+  // words); merged into the iteration counters in chunk order. Replay-side
+  // charges (atomics, value-changed writes, filter records) are applied
+  // directly to the iteration counters during the ordered drain.
+  CostCounters cost;
+  uint64_t edges = 0;
+
+  // Keeps capacity: the hot loop reuses one buffer per chunk slot across
+  // iterations without reallocating.
+  void Clear() {
+    records_.clear();
+    sources_.clear();
+    cost = CostCounters{};
+    edges = 0;
+  }
+
+  void BeginSource(VertexId src) { sources_.push_back(PushSourceSpan{src, 0}); }
+
+  void Append(VertexId dst, uint32_t worker, const Value& cand) {
+    records_.push_back(PushRecord<Value>{dst, worker, cand});
+    ++sources_.back().num_records;
+  }
+
+  bool empty() const { return sources_.empty(); }
+  const std::vector<PushRecord<Value>>& records() const { return records_; }
+  const std::vector<PushSourceSpan>& sources() const { return sources_; }
+
+ private:
+  std::vector<PushRecord<Value>> records_;
+  std::vector<PushSourceSpan> sources_;
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_PUSH_BUFFER_H_

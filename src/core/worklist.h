@@ -7,6 +7,7 @@
 #ifndef SIMDX_CORE_WORKLIST_H_
 #define SIMDX_CORE_WORKLIST_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -17,6 +18,22 @@
 namespace simdx {
 
 enum class KernelClass : uint8_t { kThread, kWarp, kCta };
+
+// A borrowed contiguous slice of one kernel class's work list — the unit the
+// parallel push phase chunks over. Keeps the engine's collect loop uniform
+// across the three classified lists and the raw (unclassified) frontier.
+struct WorkListView {
+  const VertexId* data = nullptr;
+  size_t size = 0;
+  KernelClass klass = KernelClass::kThread;
+
+  bool empty() const { return size == 0; }
+  VertexId operator[](size_t i) const { return data[i]; }
+};
+
+inline WorkListView ViewOf(const std::vector<VertexId>& list, KernelClass klass) {
+  return WorkListView{list.data(), list.size(), klass};
+}
 
 struct WorkLists {
   std::vector<VertexId> small;   // degree < small_degree_limit  -> Thread
@@ -31,6 +48,13 @@ struct WorkLists {
     small.clear();
     medium.clear();
     large.clear();
+  }
+
+  // The lists in push execution order (Thread, Warp, CTA) as borrowed views;
+  // valid until the next Clear()/Classify.
+  std::array<WorkListView, 3> Views() const {
+    return {ViewOf(small, KernelClass::kThread), ViewOf(medium, KernelClass::kWarp),
+            ViewOf(large, KernelClass::kCta)};
   }
 };
 

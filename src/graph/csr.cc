@@ -141,16 +141,35 @@ Csr Csr::FromEdges(const EdgeList& edges, VertexId vertex_count) {
 }
 
 Csr Csr::Transposed() const {
-  EdgeList reversed;
-  reversed.Reserve(col_indices_.size());
-  for (VertexId v = 0; v < vertex_count_; ++v) {
-    const auto nbrs = Neighbors(v);
-    const auto wts = NeighborWeights(v);
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      reversed.Add(nbrs[i], v, wts[i]);
+  // The reversed edge for CSR slot i is (col_indices_[i], row-of-i): slot
+  // positions ARE the output edge-list positions, and row_offsets_ already
+  // is the prefix sum of per-chunk edge counts — so vertex-range chunks
+  // write disjoint slices of the output directly, in the exact order the
+  // old sequential flip produced. The CSR build consuming the list is
+  // itself parallel and order-insensitive per run, so the transpose is
+  // bit-identical for any thread count.
+  std::vector<Edge> reversed(col_indices_.size());
+  const auto flip = [&](size_t vbegin, size_t vend) {
+    for (size_t v = vbegin; v < vend; ++v) {
+      const EdgeIdx lo = row_offsets_[v];
+      const EdgeIdx hi = row_offsets_[v + 1];
+      for (EdgeIdx i = lo; i < hi; ++i) {
+        reversed[i] =
+            Edge{col_indices_[i], static_cast<VertexId>(v), weights_[i]};
+      }
     }
+  };
+  ThreadPool& pool = ThreadPool::Global();
+  const uint32_t threads = pool.max_threads();
+  if (threads <= 1 || col_indices_.size() < kParallelBuildMinEdges ||
+      vertex_count_ < 2) {
+    flip(0, vertex_count_);
+  } else {
+    pool.ParallelFor(0, vertex_count_,
+                     SuggestedGrain(vertex_count_, threads, 1024), threads,
+                     [&](const ParallelChunk& c) { flip(c.begin, c.end); });
   }
-  return FromEdges(reversed, vertex_count_);
+  return FromEdges(EdgeList(std::move(reversed)), vertex_count_);
 }
 
 bool Csr::Validate() const {

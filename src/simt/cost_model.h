@@ -33,11 +33,16 @@ struct CostCounters {
   uint64_t kernel_launches = 0;
   uint64_t barrier_crossings = 0;
 
+  // Counters are pure sums, so per-chunk deltas accumulated by parallel
+  // phases merge with += in ascending chunk order (core/parallel.h) and the
+  // result is independent of which thread produced which delta.
   CostCounters& operator+=(const CostCounters& o);
   friend CostCounters operator+(CostCounters a, const CostCounters& b) {
     a += b;
     return a;
   }
+  // Whole-struct equality, used by the host_threads determinism gates.
+  friend bool operator==(const CostCounters&, const CostCounters&) = default;
 };
 
 struct SimTime {

@@ -97,6 +97,37 @@ TEST(CpuReferenceTest, SpmvIdentityLikeBehaviour) {
   EXPECT_DOUBLE_EQ(y[2], 30.0);
 }
 
+TEST(CpuReferenceTest, PushPageRankBitIdenticalToPull) {
+  // The push oracle deposits in ascending-source order — exactly the order
+  // of the pull oracle's sorted in-runs — so the vectors must match
+  // BITWISE, not just approximately, at every thread count the shared pool
+  // happens to use.
+  for (uint64_t seed : {3ull, 11ull}) {
+    const Graph g = Graph::FromEdges(GenerateRmat(11, 8, seed), true);
+    EXPECT_EQ(CpuPageRankPush(g), CpuPageRank(g)) << "seed " << seed;
+  }
+}
+
+TEST(CpuReferenceTest, PushSpmvBitIdenticalToPull) {
+  const Graph g = Graph::FromEdges(GenerateRmat(11, 8, 21), true);
+  std::vector<double> x(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    x[v] = 1.0 / (1.0 + v);
+  }
+  EXPECT_EQ(CpuSpmvPush(g, x), CpuSpmv(g, x));
+}
+
+TEST(CpuReferenceTest, PushSpmvSmallGraphExactValues) {
+  EdgeList list;
+  list.Add(0, 1, 2);
+  list.Add(1, 2, 3);
+  const Graph g = Graph::FromEdges(list, true);
+  const auto y = CpuSpmvPush(g, {1.0, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 30.0);
+}
+
 TEST(CpuReferenceTest, BpZeroRoundsIsPrior) {
   const Graph g = Graph::FromEdges(GenerateChain(4), false);
   const auto beliefs = CpuBp(g, 0);

@@ -6,6 +6,8 @@
 #include <atomic>
 #include <vector>
 
+#include "core/push_buffer.h"
+
 #include "algos/algos.h"
 #include "core/engine.h"
 #include "graph/generators.h"
@@ -218,6 +220,187 @@ TEST(EngineHostThreadsDeterminismTest, AutoThreadsMatchesSerial) {
   const auto serial = RunPageRank(g, MakeK40(), OptionsWithThreads(1));
   const auto auto_threads = RunPageRank(g, MakeK40(), OptionsWithThreads(0));
   ExpectIdenticalRuns(serial, auto_threads);
+}
+
+// --- Push-phase determinism: force_push routes EVERY iteration through the
+// collect-then-replay scatter (per-chunk PushBuffers + ordered drain), so
+// these sweeps exercise exactly the code the pull-heavy tests above miss.
+// Skewed R-MAT graphs make the Thread/Warp/CTA lists all non-empty, putting
+// chunks of every kernel class into the replay order. ---
+
+EngineOptions PushOptions(uint32_t host_threads) {
+  EngineOptions o;
+  o.host_threads = host_threads;
+  o.force_push = true;
+  return o;
+}
+
+template <typename RunFn>
+void SweepPushThreads(const RunFn& run) {
+  const auto serial = run(PushOptions(1));
+  ASSERT_TRUE(serial.stats.ok());
+  for (uint32_t threads : {2u, 3u, 8u}) {
+    const auto parallel = run(PushOptions(threads));
+    ExpectIdenticalRuns(serial, parallel);
+    // Counters also compare wholesale (CostCounters::operator==) so a new
+    // counter field added later cannot silently escape the gate.
+    EXPECT_TRUE(serial.stats.counters == parallel.stats.counters) << threads;
+  }
+}
+
+TEST(EnginePushDeterminismTest, BfsAllPushOnSkewedRmat) {
+  const Graph g = Graph::FromEdges(GenerateRmat(11, 8, 13), /*directed=*/false);
+  SweepPushThreads(
+      [&](const EngineOptions& o) { return RunBfs(g, 0, MakeK40(), o); });
+}
+
+TEST(EnginePushDeterminismTest, SsspAllPushOnSkewedRmat) {
+  const Graph g = Graph::FromEdges(GenerateRmat(11, 8, 17), /*directed=*/false);
+  SweepPushThreads(
+      [&](const EngineOptions& o) { return RunSssp(g, 0, MakeK40(), o); });
+}
+
+TEST(EnginePushDeterminismTest, WccAllPushOnSkewedRmat) {
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 8, 19), /*directed=*/false);
+  SweepPushThreads(
+      [&](const EngineOptions& o) { return RunWcc(g, MakeK40(), o); });
+}
+
+TEST(EnginePushDeterminismTest, KCoreAllPushOnSkewedRmat) {
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 8, 23), /*directed=*/false);
+  SweepPushThreads(
+      [&](const EngineOptions& o) { return RunKCore(g, 8, MakeK40(), o); });
+}
+
+TEST(EnginePushDeterminismTest, PageRankResidualPushConservesMass) {
+  // All-push PageRank: every vertex is a source AND a destination of the
+  // same phase, so this is the hardest case for the snapshot semantics —
+  // residual arriving during replay must survive ConsumeActivity.
+  const Graph g = Graph::FromEdges(GenerateGridRoad(30, 30, 2), /*directed=*/false);
+  const auto run = [&](const EngineOptions& o) {
+    return RunPageRank(g, MakeK40(), o, /*epsilon=*/1e-10);
+  };
+  SweepPushThreads(run);
+  // Undirected grid without isolated vertices: no dangling mass, ranks sum
+  // to 1 at the fixpoint — catches any activity lost to consume/apply
+  // reordering even when the run is internally consistent.
+  const auto result = run(PushOptions(3));
+  double sum = 0.0;
+  for (const auto& value : result.values) {
+    sum += value.rank;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(EnginePushDeterminismTest, AtomicTouchStampsAreDeterministic) {
+  // use_atomic_updates adds the touch-stamp conflict accounting to the
+  // replay; the conflict counter must not depend on the thread count.
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 8, 29), /*directed=*/false);
+  SweepPushThreads([&](EngineOptions o) {
+    o.use_atomic_updates = true;
+    o.enable_vote_early_exit = false;
+    return RunBfs(g, 0, MakeK40(), o);
+  });
+}
+
+TEST(EnginePushDeterminismTest, UnclassifiedFrontierPathMatches) {
+  // classify_worklists=false pushes the raw frontier through the same
+  // buffers as a single Thread-class view.
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 8, 31), /*directed=*/false);
+  SweepPushThreads([&](EngineOptions o) {
+    o.classify_worklists = false;
+    return RunSssp(g, 0, MakeK40(), o);
+  });
+}
+
+// --- PushBuffer mechanics ---
+
+TEST(PushBufferTest, RegrowsAndReusesCapacity) {
+  PushBuffer<uint32_t> buf;
+  // First fill: everything regrows from empty.
+  buf.BeginSource(7);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    buf.Append(/*dst=*/i, /*worker=*/i % 48, /*cand=*/i * 3);
+  }
+  ASSERT_EQ(buf.records().size(), 1000u);
+  ASSERT_EQ(buf.sources().size(), 1u);
+  EXPECT_EQ(buf.sources()[0].src, 7u);
+  EXPECT_EQ(buf.sources()[0].num_records, 1000u);
+  const size_t warm_capacity = buf.records().capacity();
+
+  // Clear keeps capacity: a same-sized refill must not reallocate.
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.records().capacity(), warm_capacity);
+  EXPECT_EQ(buf.cost.alu_ops, 0u);
+  EXPECT_EQ(buf.edges, 0u);
+  buf.BeginSource(3);
+  buf.Append(9, 1, 42);
+  EXPECT_EQ(buf.records().capacity(), warm_capacity);
+  ASSERT_EQ(buf.records().size(), 1u);
+  EXPECT_EQ(buf.records()[0].dst, 9u);
+  EXPECT_EQ(buf.records()[0].worker, 1u);
+  EXPECT_EQ(buf.records()[0].cand, 42u);
+
+  // Overflowing the warm capacity regrows without corrupting contents.
+  buf.Clear();
+  const uint32_t overflow = static_cast<uint32_t>(warm_capacity) + 123;
+  for (uint32_t v = 0; v < 4; ++v) {
+    buf.BeginSource(v);
+    for (uint32_t i = 0; i < overflow / 4 + 1; ++i) {
+      buf.Append(v * 100000 + i, v, v + i);
+    }
+  }
+  EXPECT_GT(buf.records().capacity(), warm_capacity);
+  size_t r = 0;
+  for (const PushSourceSpan& span : buf.sources()) {
+    for (uint32_t i = 0; i < span.num_records; ++i, ++r) {
+      EXPECT_EQ(buf.records()[r].dst, span.src * 100000 + i);
+      EXPECT_EQ(buf.records()[r].cand, span.src + i);
+    }
+  }
+  EXPECT_EQ(r, buf.records().size());
+}
+
+TEST(PlanChunksTest, CollapsesToOneChunkWhenSerial) {
+  EXPECT_EQ(PlanChunks(0, 8, 64, 512, true).chunks, 0u);
+  const ChunkPlan serial = PlanChunks(100, 1, 64, 512, true);
+  EXPECT_EQ(serial.chunks, 1u);
+  EXPECT_EQ(serial.grain, 100u);
+  EXPECT_EQ(PlanChunks(100, 8, 64, 512, false).chunks, 1u);
+  EXPECT_EQ(PlanChunks(100, 8, 64, 512, true).chunks, 1u);  // below serial_below
+  const ChunkPlan parallel = PlanChunks(100000, 8, 64, 512, true);
+  EXPECT_GT(parallel.chunks, 1u);
+  EXPECT_EQ(parallel.chunks,
+            ThreadPool::NumChunks(0, 100000, parallel.grain));
+}
+
+TEST(CollectAndDrainTest, DrainOrderIsChunkOrderForAnyThreadCount) {
+  ThreadPool pool(4);
+  std::vector<std::vector<int>> buffers;
+  auto run = [&](uint32_t threads) {
+    std::vector<int> drained;
+    CollectAndDrain(
+        &pool, threads, 1000, /*min_grain=*/16, /*serial_below=*/32, buffers,
+        [](const ParallelChunk& c, std::vector<int>& buf) {
+          buf.clear();
+          for (size_t i = c.begin; i < c.end; ++i) {
+            buf.push_back(static_cast<int>(i));
+          }
+        },
+        [&](const std::vector<int>& buf) {
+          drained.insert(drained.end(), buf.begin(), buf.end());
+        });
+    return drained;
+  };
+  const auto serial = run(1);
+  ASSERT_EQ(serial.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(serial[i], i);
+  }
+  for (uint32_t threads : {2u, 4u}) {
+    EXPECT_EQ(run(threads), serial) << threads;
+  }
 }
 
 }  // namespace

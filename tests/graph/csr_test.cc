@@ -86,6 +86,31 @@ TEST(CsrTest, DoubleTransposeIsIdentity) {
   EXPECT_EQ(back.weights(), csr.weights());
 }
 
+TEST(CsrTest, ParallelTransposeMatchesSequentialFlip) {
+  // Large enough to clear kParallelBuildMinEdges, so the chunked edge-list
+  // flip runs; the result must equal the straightforward one-edge-at-a-time
+  // reversal exactly.
+  const EdgeList list = GenerateRmat(12, 16, /*seed=*/5);
+  const Csr csr = Csr::FromEdges(list);
+  ASSERT_GE(csr.edge_count(), 1u << 15);
+  const Csr t = csr.Transposed();
+  EXPECT_TRUE(t.Validate());
+
+  EdgeList reversed;
+  reversed.Reserve(csr.edge_count());
+  for (VertexId v = 0; v < csr.vertex_count(); ++v) {
+    const auto nbrs = csr.Neighbors(v);
+    const auto wts = csr.NeighborWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      reversed.Add(nbrs[i], v, wts[i]);
+    }
+  }
+  const Csr expected = Csr::FromEdges(reversed, csr.vertex_count());
+  EXPECT_EQ(t.row_offsets(), expected.row_offsets());
+  EXPECT_EQ(t.col_indices(), expected.col_indices());
+  EXPECT_EQ(t.weights(), expected.weights());
+}
+
 TEST(CsrTest, MemoryFootprintMatchesLayout) {
   EdgeList list;
   list.Add(0, 1);
