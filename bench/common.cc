@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -8,6 +9,7 @@
 #include <map>
 #include <sstream>
 #include <string_view>
+#include <thread>
 
 namespace simdx::bench {
 
@@ -176,6 +178,47 @@ double GeoMean(const std::vector<double>& values) {
     }
   }
   return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+double HostNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t ParseU32Flag(const std::string& s, const char* flag) {
+  try {
+    size_t pos = 0;
+    const unsigned long v = std::stoul(s, &pos);
+    if (pos == s.size()) {
+      return static_cast<uint32_t>(v);
+    }
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects a number, got '" << s << "'\n";
+  std::exit(2);
+}
+
+std::vector<uint32_t> ParseThreadList(const std::string& s, const char* flag) {
+  std::vector<uint32_t> threads;
+  std::istringstream ss(s);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) {
+      threads.push_back(ParseU32Flag(token, flag));
+    }
+  }
+  return threads;
+}
+
+void WarnIfSingleCore() {
+  const uint32_t hw = std::thread::hardware_concurrency();
+  if (hw <= 1) {
+    std::cerr << "WARNING: hardware_concurrency=" << hw
+              << "; every thread count time-slices one core, so speedups are\n"
+                 "meaningless (flat by construction). The determinism gate is\n"
+                 "still valid — rerun on a multi-core host for real scaling.\n";
+  }
 }
 
 }  // namespace simdx::bench

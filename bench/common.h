@@ -4,7 +4,9 @@
 #ifndef SIMDX_BENCH_COMMON_H_
 #define SIMDX_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -74,6 +76,51 @@ double PaperScaleMs(const RunStats& stats);
 
 // Geometric mean of ratios, ignoring non-positive entries.
 double GeoMean(const std::vector<double>& values);
+
+// ---- host-runtime bench helpers (host_scaling, push_replay) ----
+
+// Host wall clock in milliseconds (steady clock) — these benches measure the
+// simulator itself, unlike the simulated times above.
+double HostNowMs();
+
+// Strict uint32 parse; exits(2) with a message naming `flag` on failure.
+uint32_t ParseU32Flag(const std::string& s, const char* flag);
+
+// Comma-separated thread list, e.g. "1,2,4,8".
+std::vector<uint32_t> ParseThreadList(const std::string& s, const char* flag);
+
+// stderr warning for the flat-curve trap: on a ≤1-core host every thread
+// count time-slices the same core, so speedups are meaningless (the
+// determinism gates remain valid).
+void WarnIfSingleCore();
+
+// The simulated-statistics fingerprint the determinism gates freeze: every
+// CostCounters field, the derived times, the filter/direction patterns, and
+// an FNV-1a hash over the raw output-value bytes (a race that corrupts
+// values while leaving every counter intact must still trip the gate). ONE
+// definition on purpose — host_scaling and push_replay must agree on what
+// "identical stats" means or a divergence could pass one gate and fail the
+// other.
+template <typename Value>
+std::string StatsFingerprint(const RunResult<Value>& r) {
+  uint64_t values_hash = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(r.values.data());
+  for (size_t i = 0; i < r.values.size() * sizeof(Value); ++i) {
+    values_hash = (values_hash ^ bytes[i]) * 1099511628211ull;
+  }
+  std::ostringstream os;
+  const CostCounters& c = r.stats.counters;
+  os.precision(17);
+  os << r.stats.iterations << '|' << c.coalesced_words << '|'
+     << c.scattered_words << '|' << c.atomic_ops << '|' << c.atomic_conflicts
+     << '|' << c.alu_ops << '|' << c.kernel_launches << '|'
+     << c.barrier_crossings << '|' << r.stats.time.ms << '|'
+     << r.stats.time.cycles << '|' << r.stats.total_active << '|'
+     << r.stats.total_edges_processed << '|' << r.stats.filter_pattern << '|'
+     << r.stats.direction_pattern << '|' << r.values.size() << '|'
+     << values_hash;
+  return os.str();
+}
 
 }  // namespace simdx::bench
 

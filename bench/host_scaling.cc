@@ -15,7 +15,6 @@
 // --smoke: CI divergence gate — scale 13, 1 repeat, threads {1,2} (no
 // speedup expectations, exit code reflects determinism only).
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -26,6 +25,7 @@
 #include <vector>
 
 #include "algos/algos.h"
+#include "common.h"
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -42,40 +42,20 @@ struct Args {
   std::string json_path;
 };
 
-uint32_t ParseU32(const std::string& s, const char* flag) {
-  try {
-    size_t pos = 0;
-    const unsigned long v = std::stoul(s, &pos);
-    if (pos == s.size()) {
-      return static_cast<uint32_t>(v);
-    }
-  } catch (const std::exception&) {
-  }
-  std::cerr << "error: " << flag << " expects a number, got '" << s << "'\n";
-  std::exit(2);
-}
-
 Args Parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a == "--scale" && i + 1 < argc) {
-      args.scale = ParseU32(argv[++i], "--scale");
+      args.scale = bench::ParseU32Flag(argv[++i], "--scale");
     } else if (a == "--edge-factor" && i + 1 < argc) {
-      args.edge_factor = ParseU32(argv[++i], "--edge-factor");
+      args.edge_factor = bench::ParseU32Flag(argv[++i], "--edge-factor");
     } else if (a == "--repeats" && i + 1 < argc) {
-      args.repeats = ParseU32(argv[++i], "--repeats");
+      args.repeats = bench::ParseU32Flag(argv[++i], "--repeats");
     } else if (a == "--json" && i + 1 < argc) {
       args.json_path = argv[++i];
     } else if (a == "--threads" && i + 1 < argc) {
-      args.threads.clear();
-      std::istringstream ss(argv[++i]);
-      std::string token;
-      while (std::getline(ss, token, ',')) {
-        if (!token.empty()) {
-          args.threads.push_back(ParseU32(token, "--threads"));
-        }
-      }
+      args.threads = bench::ParseThreadList(argv[++i], "--threads");
     } else if (a == "--smoke") {
       args.scale = 13;
       args.repeats = 1;
@@ -90,37 +70,15 @@ Args Parse(int argc, char** argv) {
   return args;
 }
 
-double NowMs() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 // The simulated-statistics fingerprint the determinism contract freezes.
 struct StatsKey {
   std::string fingerprint;
 
   template <typename Value>
   static StatsKey Of(const RunResult<Value>& r) {
-    // FNV-1a over the raw output bytes: a race that corrupts values while
-    // leaving every counter intact must still trip the determinism gate.
-    uint64_t values_hash = 1469598103934665603ull;
-    const auto* bytes = reinterpret_cast<const unsigned char*>(r.values.data());
-    for (size_t i = 0; i < r.values.size() * sizeof(Value); ++i) {
-      values_hash = (values_hash ^ bytes[i]) * 1099511628211ull;
-    }
-    std::ostringstream os;
-    const CostCounters& c = r.stats.counters;
-    os.precision(17);
-    os << r.stats.iterations << '|' << c.coalesced_words << '|'
-       << c.scattered_words << '|' << c.atomic_ops << '|' << c.atomic_conflicts
-       << '|' << c.alu_ops << '|' << c.kernel_launches << '|'
-       << c.barrier_crossings << '|' << r.stats.time.ms << '|'
-       << r.stats.time.cycles << '|' << r.stats.total_active << '|'
-       << r.stats.total_edges_processed << '|' << r.stats.filter_pattern << '|'
-       << r.stats.direction_pattern << '|' << r.values.size() << '|'
-       << values_hash;
-    return StatsKey{os.str()};
+    // Shared with push_replay so both gates freeze the same definition of
+    // "identical simulated stats".
+    return StatsKey{bench::StatsFingerprint(r)};
   }
 
   friend bool operator==(const StatsKey&, const StatsKey&) = default;
@@ -142,9 +100,9 @@ void Measure(const std::string& algo, const Args& args, const RunFn& run,
     s.threads = t;
     s.best_ms = 1e300;
     for (uint32_t rep = 0; rep < args.repeats; ++rep) {
-      const double t0 = NowMs();
+      const double t0 = bench::HostNowMs();
       auto result = run(t);
-      const double elapsed = NowMs() - t0;
+      const double elapsed = bench::HostNowMs() - t0;
       s.best_ms = std::min(s.best_ms, elapsed);
       const StatsKey key = StatsKey::Of(result);
       if (s.key.fingerprint.empty()) {
@@ -165,6 +123,10 @@ void Measure(const std::string& algo, const Args& args, const RunFn& run,
 int main(int argc, char** argv) {
   using namespace simdx;
   const Args args = Parse(argc, argv);
+
+  // The PR 1 flat-curve trap: the JSON records hardware_concurrency so
+  // readers can tell; warn loudly up front too.
+  bench::WarnIfSingleCore();
 
   std::cerr << "building RMAT scale=" << args.scale
             << " edge_factor=" << args.edge_factor << "...\n";

@@ -1,0 +1,243 @@
+// Collect vs. replay wall-clock split of the engine's push phase.
+//
+// PR 2 made the push scatter collect-then-replay with a serial ordered
+// drain; the partitioned (owner-computes) replay removes that last serial
+// O(E) stage. This bench makes the change measurable instead of asserted:
+// for each push-heavy algorithm and host thread count it reports, per
+// iteration, how long the parallel collect and the replay drain took on the
+// host, plus each replay range worker's summed busy time — the direct
+// evidence that the replay stage executed on P workers. Like host_scaling
+// it measures the SIMULATOR's wall clock (not simulated GPU time), emits
+// JSON, and doubles as a determinism gate: simulated stats and values must
+// be byte-identical at every thread count.
+//
+//   push_replay [--scale N] [--edge-factor N] [--threads 1,2,4,8]
+//               [--repeats N] [--json out.json] [--smoke]
+//
+// --smoke: CI gate — scale 12, 1 repeat, threads {1,2}; exits non-zero on
+// any cross-thread-count divergence, or if the 2-thread run failed to drain
+// any iteration through the partitioned replay (per-range timings missing).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "algos/algos.h"
+#include "common.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+struct Args {
+  uint32_t scale = 16;
+  uint32_t edge_factor = 8;
+  std::vector<uint32_t> threads = {1, 2, 4, 8};
+  uint32_t repeats = 3;
+  std::string json_path;
+  bool smoke = false;
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--scale" && i + 1 < argc) {
+      args.scale = bench::ParseU32Flag(argv[++i], "--scale");
+    } else if (a == "--edge-factor" && i + 1 < argc) {
+      args.edge_factor = bench::ParseU32Flag(argv[++i], "--edge-factor");
+    } else if (a == "--repeats" && i + 1 < argc) {
+      args.repeats = bench::ParseU32Flag(argv[++i], "--repeats");
+    } else if (a == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      args.threads = bench::ParseThreadList(argv[++i], "--threads");
+    } else if (a == "--smoke") {
+      args.smoke = true;
+      args.scale = 12;
+      args.repeats = 1;
+      args.threads = {1, 2};
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--scale N] [--edge-factor N] [--threads 1,2,4,8]"
+                   " [--repeats N] [--json out.json] [--smoke]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct Sample {
+  std::string algo;
+  uint32_t threads = 0;
+  double best_ms = 1e300;
+  PushReplayProfile profile;  // of the best repeat
+  std::string fingerprint;
+};
+
+// force_push keeps every iteration on the collect/replay path under
+// measurement; profile_push_replay turns the engine's clocks on.
+EngineOptions BenchOptions(uint32_t threads) {
+  EngineOptions o;
+  o.host_threads = threads;
+  o.force_push = true;
+  o.profile_push_replay = true;
+  return o;
+}
+
+template <typename Program>
+void Measure(const std::string& algo, const Graph& g, const Program& program,
+             const Args& args, std::vector<Sample>& out) {
+  for (uint32_t t : args.threads) {
+    Sample s;
+    s.algo = algo;
+    s.threads = t;
+    for (uint32_t rep = 0; rep < args.repeats; ++rep) {
+      Engine<Program> engine(g, MakeK40(), BenchOptions(t));
+      const double t0 = bench::HostNowMs();
+      const auto result = engine.Run(program);
+      const double elapsed = bench::HostNowMs() - t0;
+      const std::string key = bench::StatsFingerprint(result);
+      if (s.fingerprint.empty()) {
+        s.fingerprint = key;
+      } else if (s.fingerprint != key) {
+        std::cerr << "NON-DETERMINISM within " << algo << " t=" << t << "\n";
+        std::exit(1);
+      }
+      if (elapsed < s.best_ms) {
+        s.best_ms = elapsed;
+        s.profile = engine.push_profile();
+      }
+    }
+    std::cerr << algo << " threads=" << t << " wall=" << s.best_ms
+              << "ms collect=" << s.profile.collect_ms
+              << "ms replay=" << s.profile.replay_ms
+              << "ms ranges=" << s.profile.ranges
+              << " partitioned_replays=" << s.profile.partitioned_replays
+              << "\n";
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+}  // namespace simdx
+
+int main(int argc, char** argv) {
+  using namespace simdx;
+  const Args args = Parse(argc, argv);
+
+  const uint32_t hw = std::thread::hardware_concurrency();
+  bench::WarnIfSingleCore();
+
+  std::cerr << "building RMAT scale=" << args.scale
+            << " edge_factor=" << args.edge_factor << "...\n";
+  const Graph g = Graph::FromEdges(
+      GenerateRmat(args.scale, args.edge_factor, /*seed=*/42), /*directed=*/false);
+  std::cerr << "graph: " << g.vertex_count() << " vertices, " << g.edge_count()
+            << " edges\n";
+
+  VertexId source = 0;
+  uint32_t best_degree = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.OutDegree(v) > best_degree) {
+      best_degree = g.OutDegree(v);
+      source = v;
+    }
+  }
+
+  std::vector<Sample> samples;
+  {
+    BfsProgram program;
+    program.source = source;
+    Measure("bfs", g, program, args, samples);
+  }
+  {
+    SsspProgram program;
+    program.source = source;
+    Measure("sssp", g, program, args, samples);
+  }
+  {
+    WccProgram program;
+    program.graph = &g;
+    Measure("wcc", g, program, args, samples);
+  }
+
+  // Cross-thread-count determinism gate.
+  bool deterministic = true;
+  for (const Sample& s : samples) {
+    for (const Sample& other : samples) {
+      if (s.algo == other.algo && s.fingerprint != other.fingerprint) {
+        deterministic = false;
+        std::cerr << "NON-DETERMINISM across thread counts in " << s.algo << "\n";
+      }
+    }
+  }
+
+  // Smoke acceptance: the multi-thread run must have drained through the
+  // partitioned replay with per-range timings recorded.
+  bool partitioned_seen = true;
+  if (args.smoke) {
+    for (const Sample& s : samples) {
+      if (s.threads <= 1) {
+        continue;
+      }
+      if (s.profile.ranges <= 1 || s.profile.partitioned_replays == 0 ||
+          s.profile.range_ms.size() != s.profile.ranges) {
+        partitioned_seen = false;
+        std::cerr << "SMOKE FAIL: " << s.algo << " t=" << s.threads
+                  << " never used the partitioned replay (ranges="
+                  << s.profile.ranges << ", partitioned_replays="
+                  << s.profile.partitioned_replays << ")\n";
+      }
+    }
+  }
+
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n  \"graph\": {\"vertices\": " << g.vertex_count()
+       << ", \"edges\": " << g.edge_count() << ", \"rmat_scale\": " << args.scale
+       << "},\n  \"hardware_concurrency\": " << hw
+       << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"runs\": [\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    const PushReplayProfile& p = s.profile;
+    json << "    {\"algo\": \"" << s.algo << "\", \"host_threads\": " << s.threads
+         << ", \"wall_ms\": " << s.best_ms << ", \"ranges\": " << p.ranges
+         << ", \"partitioned_replays\": " << p.partitioned_replays
+         << ", \"serial_replays\": " << p.serial_replays
+         << ", \"collect_ms\": " << p.collect_ms
+         << ", \"replay_ms\": " << p.replay_ms << ",\n     \"range_ms\": [";
+    for (size_t r = 0; r < p.range_ms.size(); ++r) {
+      json << (r ? ", " : "") << p.range_ms[r];
+    }
+    json << "],\n     \"iterations\": [";
+    for (size_t it = 0; it < p.iterations.size(); ++it) {
+      const PushReplayIterationSplit& split = p.iterations[it];
+      json << (it ? "," : "") << "\n       {\"iteration\": " << split.iteration
+           << ", \"records\": " << split.records
+           << ", \"collect_ms\": " << split.collect_ms
+           << ", \"replay_ms\": " << split.replay_ms << ", \"partitioned\": "
+           << (split.partitioned ? "true" : "false") << "}";
+    }
+    json << (p.iterations.empty() ? "]" : "\n     ]") << "}"
+         << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << json.str();
+    std::cerr << "wrote " << args.json_path << "\n";
+  }
+  std::cout << json.str();
+  return deterministic && partitioned_seen ? 0 : 1;
+}

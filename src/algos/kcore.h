@@ -20,10 +20,17 @@ namespace simdx {
 
 struct KCoreValue {
   uint32_t degree = 0;
-  bool removed = false;
+  // 0/1 flag, deliberately NOT bool: a bool leaves 3 padding bytes whose
+  // content is indeterminate and depends on which code path constructed the
+  // value, and the determinism gates (host_scaling/push_replay) hash the
+  // raw value bytes. uint32_t makes the struct padding-free, so equal
+  // values are equal bytes.
+  uint32_t removed = 0;
 
   friend bool operator==(const KCoreValue&, const KCoreValue&) = default;
 };
+static_assert(sizeof(KCoreValue) == 2 * sizeof(uint32_t),
+              "KCoreValue must stay padding-free (see comment on `removed`)");
 
 struct KCoreProgram {
   using Value = KCoreValue;
@@ -43,7 +50,7 @@ struct KCoreProgram {
   // exactly once).
   Value InitValue(VertexId v) const {
     const uint32_t d = graph->OutDegree(v);
-    return Value{d, d < k};
+    return Value{d, d < k ? 1u : 0u};
   }
   std::vector<VertexId> InitialFrontier() const {
     std::vector<VertexId> removed;
@@ -63,12 +70,12 @@ struct KCoreProgram {
   // mode the gather counts ALL removed in-neighbors (absolute recount).
   Value Compute(VertexId /*src*/, VertexId /*dst*/, Weight /*w*/,
                 const Value& src_value, Direction /*dir*/) const {
-    return Value{src_value.removed ? 1u : 0u, false};
+    return Value{src_value.removed ? 1u : 0u, 0};
   }
   Value Combine(const Value& a, const Value& b) const {
-    return Value{a.degree + b.degree, false};
+    return Value{a.degree + b.degree, 0};
   }
-  Value CombineIdentity() const { return Value{0, false}; }
+  Value CombineIdentity() const { return Value{0, 0}; }
 
   Value Apply(VertexId v, const Value& combined, const Value& old,
               Direction dir) const {
@@ -83,7 +90,7 @@ struct KCoreProgram {
     } else {
       new_degree = combined.degree >= old.degree ? 0 : old.degree - combined.degree;
     }
-    return Value{new_degree, new_degree < k};
+    return Value{new_degree, new_degree < k ? 1u : 0u};
   }
   bool ValueChanged(const Value& before, const Value& after) const {
     return !(before == after);

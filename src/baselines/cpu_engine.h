@@ -183,7 +183,7 @@ class CpuFrontierEngine {
     result.stats.serial_ms = sync_ms;
     result.stats.iterations = iter;
     result.stats.converged = iter < options_.max_iterations;
-    result.values = meta.values();
+    result.values.assign(meta.values().begin(), meta.values().end());
     return result;
   }
 

@@ -151,7 +151,7 @@ class CushaLikeEngine {
 
     result.stats.iterations = iter;
     result.stats.converged = iter < options_.max_iterations;
-    result.values = meta.values();
+    result.values.assign(meta.values().begin(), meta.values().end());
     return result;
   }
 

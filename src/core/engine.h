@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <span>
 #include <utility>
 #include <vector>
@@ -51,6 +52,29 @@ inline constexpr double kOccupancySaturation = 0.4;
 inline double EffectiveOccupancy(double occupancy) {
   return std::clamp(occupancy / kOccupancySaturation, 0.05, 1.0);
 }
+
+// Host wall-clock split of the push phase, recorded when
+// EngineOptions::profile_push_replay is set (consumed by bench/push_replay).
+// All times are HOST milliseconds — the simulator's own cost, not simulated
+// GPU time — and per-range entries are each replay worker's busy time, the
+// direct evidence that the replay stage executed on P workers.
+struct PushReplayIterationSplit {
+  uint32_t iteration = 0;
+  uint64_t records = 0;
+  double collect_ms = 0.0;
+  double replay_ms = 0.0;
+  bool partitioned = false;  // owner-computes drain (vs the serial fallback)
+};
+
+struct PushReplayProfile {
+  uint32_t ranges = 0;  // replay ranges armed for this run (1 = serial only)
+  uint64_t partitioned_replays = 0;
+  uint64_t serial_replays = 0;
+  double collect_ms = 0.0;  // summed over push iterations
+  double replay_ms = 0.0;
+  std::vector<double> range_ms;  // per-range drain busy time, summed
+  std::vector<PushReplayIterationSplit> iterations;
+};
 
 template <AccProgram Program>
 class Engine {
@@ -97,10 +121,18 @@ class Engine {
     GlobalBarrier barrier(DeadlockFreeGridSize(
         device_, ResourcesFor(options_.fusion, Direction::kPush,
                               options_.threads_per_cta)));
-    recorded_stamp_.assign(n, 0);
+    // Stamp arrays zeroed through ParallelFor when first-touch is on, so
+    // their pages land near the replay workers that will stamp them.
+    ThreadPool* const init_pool = options_.first_touch_init ? pool_ : nullptr;
+    recorded_stamp_.clear();
+    ParallelFill(recorded_stamp_, n, init_pool, host_threads_, 8192,
+                 [](size_t) { return 0u; });
     if (options_.use_atomic_updates) {
-      touch_stamp_.assign(n, 0);
+      touch_stamp_.clear();
+      ParallelFill(touch_stamp_, n, init_pool, host_threads_, 8192,
+                   [](size_t) { return 0u; });
     }
+    SetupReplayPartition();
 
     Direction prev_dir = Direction::kPush;
     bool frontier_sorted = true;  // the initial frontier comes in id order
@@ -188,8 +220,9 @@ class Engine {
                                  host_threads_);
           }
           const WorkLists& lists = classifier_.result();
-          edges_processed = ProcessPush(program, meta, lists.Views(),
-                                        frontier_sorted, jit, it_cost);
+          edges_processed =
+              ProcessPush(program, meta, lists.Views(), frontier_sorted,
+                          info.frontier_out_edges, jit, it_cost);
           last_stage_count_ = (lists.small.empty() ? 0u : 1u) +
                               (lists.medium.empty() ? 0u : 1u) +
                               (lists.large.empty() ? 0u : 1u);
@@ -200,7 +233,8 @@ class Engine {
           const std::array<WorkListView, 1> whole = {
               ViewOf(frontier, KernelClass::kThread)};
           edges_processed =
-              ProcessPush(program, meta, whole, frontier_sorted, jit, it_cost);
+              ProcessPush(program, meta, whole, frontier_sorted,
+                          info.frontier_out_edges, jit, it_cost);
           last_stage_count_ = frontier.empty() ? 0u : 1u;
         }
       } else {
@@ -272,23 +306,38 @@ class Engine {
 
     result.stats.iterations = iter;
     result.stats.converged = iter < options_.max_iterations && !result.stats.failed;
-    result.values = meta.values();
+    result.values.assign(meta.values().begin(), meta.values().end());
     return result;
   }
+
+  // Host wall-clock collect/replay telemetry; populated only when
+  // EngineOptions::profile_push_replay is set, and valid after Run().
+  const PushReplayProfile& push_profile() const { return profile_; }
 
  private:
   VertexMeta<Value> MakeMetadata(const Program& program) const {
     const auto n = static_cast<VertexId>(graph_.vertex_count());
+    // First-touch: the metadata arrays are written through ParallelFor (same
+    // values as the serial loop) so their pages fault in on pool threads.
+    ThreadPool* const init_pool = options_.first_touch_init ? pool_ : nullptr;
     // Programs whose pull contributors must be visible on the very first
     // iteration seed prev differently from curr via InitPrev.
     if constexpr (requires(const Program& p, VertexId v) { p.InitPrev(v); }) {
-      VertexMeta<Value> meta(n, [&](VertexId v) { return program.InitPrev(v); });
-      for (VertexId v = 0; v < n; ++v) {
-        meta.curr(v) = program.InitValue(v);  // prev keeps InitPrev
-      }
+      VertexMeta<Value> meta(
+          n, [&](VertexId v) { return program.InitPrev(v); }, init_pool,
+          host_threads_);
+      ParallelRange(n, init_pool, host_threads_, 8192,
+                    [&](size_t begin, size_t end) {
+                      for (size_t v = begin; v < end; ++v) {
+                        meta.curr(static_cast<VertexId>(v)) = program.InitValue(
+                            static_cast<VertexId>(v));  // prev keeps InitPrev
+                      }
+                    });
       return meta;
     } else {
-      return VertexMeta<Value>(n, [&](VertexId v) { return program.InitValue(v); });
+      return VertexMeta<Value>(
+          n, [&](VertexId v) { return program.InitValue(v); }, init_pool,
+          host_threads_);
     }
   }
 
@@ -312,14 +361,12 @@ class Engine {
 
   // Optional hook: programs carrying explicit activity (e.g. delta-PageRank
   // residuals) define ConsumeActivity(curr, prev, dir) returning the value
-  // after the pending activity has been handed to the neighbors.
+  // after the pending activity has been handed to the neighbors. Gated on
+  // kHasConsume — the same probe that decides span tracking in the collect
+  // pass — so the two can never drift apart.
   static void Consume(const Program& program, VertexMeta<Value>& meta, VertexId v,
                       Direction dir) {
-    if constexpr (requires(const Program& p, const Value& val) {
-                    {
-                      p.ConsumeActivity(val, val, Direction::kPush)
-                    } -> std::same_as<Value>;
-                  }) {
+    if constexpr (kHasConsume) {
       meta.curr(v) = program.ConsumeActivity(meta.curr(v), meta.prev(v), dir);
     }
   }
@@ -393,14 +440,39 @@ class Engine {
   //   contiguous slice, runs Compute against the phase-start metadata —
   //   nothing writes curr during collection, so curr(v) IS the snapshot —
   //   charges the traversal costs to its chunk-private counters, and buffers
-  //   one (dst, worker, candidate) record per out-edge.
+  //   one (dst, worker, candidate) record per out-edge (bucketed under the
+  //   destination's replay range when the partitioned drain is armed).
   //
-  //   REPLAY (ordered): buffers drain in ascending chunk order — which is
-  //   exactly list order, independent of grain and thread count — performing
-  //   Apply, the curr writes, the atomic-contention stamps, the online-
-  //   filter records and ConsumeActivity in the statement order a sequential
-  //   walk of the same records would. Every simulated stat, touch stamp and
-  //   output value is therefore bit-identical for any host_threads.
+  //   REPLAY: the records drain in ascending chunk order — which is exactly
+  //   list order, independent of grain and thread count. Two equivalent
+  //   drains exist:
+  //
+  //     * SERIAL (host_threads == 1, small iterations, or the option off):
+  //       one pass performs Apply, the curr writes, the atomic-contention
+  //       stamps, the online-filter records and ConsumeActivity in the
+  //       statement order a sequential walk of the records would.
+  //
+  //     * PARTITIONED (owner-computes): the destination-vertex space is
+  //       split into replay_ranges_ disjoint ranges, balanced by in-degree
+  //       mass (BalancedRangeBoundaries over the in-CSR offsets, so ranges
+  //       balance by incoming records). Each range worker drains only the
+  //       records whose dst it owns, in ascending (chunk, record) order,
+  //       and runs ConsumeActivity for the sources it owns at their serial
+  //       span positions. Everything a record touches — curr(dst), the
+  //       touch/record stamps, the activation decision, the park decision —
+  //       is keyed by a single vertex that exactly one worker owns, so the
+  //       per-destination statement order IS the serial order and every
+  //       value and stamp is bit-identical to the serial drain. The order-
+  //       sensitive side channels leave the workers through per-range
+  //       scratch: CostCounters merge in range order (pure integer sums —
+  //       order-insensitive), while online-filter records and deferred
+  //       Apply effects (ApplyEffect; SSSP's bucket parks) carry their
+  //       (chunk, record) position and are k-way merged back into the
+  //       global serial order before touching the shared bins / program
+  //       state.
+  //
+  //   Either way, every simulated stat, touch stamp and output value is
+  //   bit-identical for any host_threads.
   //
   // Semantics: push iterations are BSP (Jacobi-style), like pull and like
   // the real double-buffered kernels — a candidate computed this phase never
@@ -408,14 +480,80 @@ class Engine {
   // and re-activate their destination for the NEXT iteration. Residual-
   // carrying programs consume exactly the snapshot amount they distributed
   // (see PageRankProgram::ConsumeActivity), so no activity is lost.
+
+  // Program capabilities the replay specializes on.
+  static constexpr bool kHasConsume =
+      requires(const Program& p, const Value& val) {
+        { p.ConsumeActivity(val, val, Direction::kPush) } -> std::same_as<Value>;
+      };
+  static constexpr bool kHasDeferredApply =
+      requires(const Program& p, VertexId v, const Value& val,
+               std::vector<ApplyEffect>& out) {
+        { p.ApplyCollect(v, val, val, Direction::kPush, out) }
+            -> std::same_as<Value>;
+        p.ReplayApplyEffect(ApplyEffect{});
+      };
+  // Fail closed: a program that ships ApplyCollect (declaring "my Apply has
+  // side effects that need deferral") but whose hook pair doesn't satisfy
+  // kHasDeferredApply — missing/misdeclared ReplayApplyEffect, wrong
+  // signature — must not silently fall back to running its side-effecting
+  // Apply from concurrent range workers.
+  static_assert(!requires(const Program& p) { &Program::ApplyCollect; } ||
+                    kHasDeferredApply,
+                "Program defines ApplyCollect but the deferred-apply hook "
+                "pair is malformed (see acc.h: ApplyCollect must return "
+                "Value and ReplayApplyEffect(const ApplyEffect&) must be "
+                "callable on a const Program)");
+
+  // Per-range scratch for the partitioned push replay, reused across
+  // iterations. Holds the range worker's counters plus its position-tagged
+  // deferred streams; `effect_pos[i]` is the position of `effects[i]` (kept
+  // parallel rather than wrapped so the no-effect programs pay nothing).
+  struct ReplayScratch {
+    CostCounters cost;
+    std::vector<DeferredActivation> activations;
+    std::vector<ApplyEffect> effects;
+    std::vector<uint64_t> effect_pos;
+    double wall_ms = 0.0;
+  };
+
+  static double NowMs() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
   uint64_t ProcessPush(const Program& program, VertexMeta<Value>& meta,
                        std::span<const WorkListView> views, bool frontier_sorted,
-                       JitController& jit, CostCounters& cost) {
+                       uint64_t frontier_out_edges, JitController& jit,
+                       CostCounters& cost) {
+    // Decide the drain up front: the frontier's out-edge sum (already
+    // computed by classification) is exactly the record count the collect
+    // will buffer, so iterations below the threshold skip the bucketing
+    // bookkeeping (owner lookups, index appends, span events) entirely and
+    // go straight to the serial drain.
+    collect_bucketed_ =
+        replay_ranges_ > 1 &&
+        frontier_out_edges >= options_.parallel_replay_min_records;
+    const bool profile = options_.profile_push_replay;
+    const double t_collect = profile ? NowMs() : 0.0;
     uint32_t num_buffers = 0;
     for (const WorkListView& view : views) {
       num_buffers += CollectPush(program, meta, view, frontier_sorted, num_buffers);
     }
-    return ReplayPush(program, meta, num_buffers, jit, cost);
+    const double t_replay = profile ? NowMs() : 0.0;
+    const auto [edges, partitioned] =
+        ReplayPush(program, meta, num_buffers, jit, cost);
+    if (profile) {
+      const double t_done = NowMs();
+      profile_.collect_ms += t_replay - t_collect;
+      profile_.replay_ms += t_done - t_replay;
+      (partitioned ? profile_.partitioned_replays : profile_.serial_replays) += 1;
+      profile_.iterations.push_back(PushReplayIterationSplit{
+          stamp_ - 1, edges, t_replay - t_collect, t_done - t_replay,
+          partitioned});
+    }
+    return edges;
   }
 
   // Collect phase for one list: chunk it, fill push_buffers_[base ..
@@ -441,8 +579,21 @@ class Engine {
     if (push_buffers_.size() < base + plan.chunks) {
       push_buffers_.resize(base + plan.chunks);
     }
+    // Partitioned-replay runs bucket every record under its destination's
+    // range at collect time (one extra owner lookup per edge) so each replay
+    // worker later walks only its own records. Chunk buffers are filled —
+    // and their bucket pages first-touched — by whichever pool thread runs
+    // the chunk.
+    const bool bucketed = collect_bucketed_;
+    const auto prep = [&](PushBuffer<Value>& buf) {
+      if (bucketed) {
+        buf.BeginCollect(replay_ranges_, /*track_spans=*/kHasConsume);
+      } else {
+        buf.Clear();
+      }
+    };
     if (plan.chunks == 1) {
-      push_buffers_[base].Clear();
+      prep(push_buffers_[base]);
       CollectPushRange(program, meta, view, frontier_sorted, 0, view.size,
                        push_buffers_[base]);
     } else {
@@ -450,7 +601,7 @@ class Engine {
                          [&](const ParallelChunk& c) {
                            PushBuffer<Value>& buf =
                                push_buffers_[base + c.chunk_index];
-                           buf.Clear();
+                           prep(buf);
                            CollectPushRange(program, meta, view, frontier_sorted,
                                             c.begin, c.end, buf);
                          });
@@ -462,6 +613,7 @@ class Engine {
                         const WorkListView& view, bool frontier_sorted,
                         size_t begin, size_t end, PushBuffer<Value>& buf) const {
     const uint32_t workers = options_.sim_worker_threads;
+    const bool bucketed = collect_bucketed_;
     for (size_t idx = begin; idx < end; ++idx) {
       const VertexId v = view[idx];
       const auto nbrs = graph_.out().Neighbors(v);
@@ -487,7 +639,7 @@ class Engine {
         buf.cost.coalesced_words += 2ull * rounded;
       }
 
-      buf.BeginSource(v);
+      buf.BeginSource(v, bucketed ? range_of_vertex_[v] : 0);
       for (uint32_t i = 0; i < degree; ++i) {
         buf.cost.scattered_words += 1;  // load destination metadata
         buf.cost.alu_ops += 2;          // Compute + Combine lane work
@@ -498,24 +650,45 @@ class Engine {
         }
         buf.Append(nbrs[i], WorkerFor(idx, i, view.klass, workers),
                    program.Compute(v, nbrs[i], wts[i], meta.curr(v),
-                                   Direction::kPush));
+                                   Direction::kPush),
+                   bucketed ? range_of_vertex_[nbrs[i]] : 0);
       }
       buf.edges += degree;
     }
+    buf.FinishCollect();
   }
 
-  // Replay phase: ordered drain. Per record, the statement sequence is
-  // exactly the tail of the old sequential edge loop; per source, the
-  // ConsumeActivity lands after its records, where the sequential loop
-  // consumed.
-  uint64_t ReplayPush(const Program& program, VertexMeta<Value>& meta,
-                      uint32_t num_buffers, JitController& jit,
-                      CostCounters& cost) {
+  // Replay dispatcher: merges the collect-side counters in chunk order, then
+  // selects the serial or the owner-computes partitioned drain (identical
+  // observable behaviour; see the phase comment above ProcessPush). Returns
+  // {edges drained, whether the partitioned drain ran}.
+  std::pair<uint64_t, bool> ReplayPush(const Program& program,
+                                       VertexMeta<Value>& meta,
+                                       uint32_t num_buffers, JitController& jit,
+                                       CostCounters& cost) {
     uint64_t edges = 0;
     for (uint32_t b = 0; b < num_buffers; ++b) {
       cost += push_buffers_[b].cost;
       edges += push_buffers_[b].edges;
     }
+    // Collect bucketed iff the pre-collect decision armed it (the frontier
+    // out-edge sum it keyed on IS `edges`: one record per edge).
+    const bool partitioned = collect_bucketed_;
+    if (partitioned) {
+      DrainPartitioned(program, meta, num_buffers, jit, cost);
+    } else {
+      DrainSerial(program, meta, num_buffers, jit, cost);
+    }
+    return {edges, partitioned};
+  }
+
+  // Serial ordered drain (the host_threads == 1 path, also chosen for small
+  // iterations): per record, the statement sequence is exactly the tail of
+  // the old sequential edge loop; per source, the ConsumeActivity lands
+  // after its records, where the sequential loop consumed.
+  void DrainSerial(const Program& program, VertexMeta<Value>& meta,
+                   uint32_t num_buffers, JitController& jit,
+                   CostCounters& cost) {
     for (uint32_t b = 0; b < num_buffers; ++b) {
       const PushBuffer<Value>& buf = push_buffers_[b];
       const auto& records = buf.records();
@@ -547,7 +720,200 @@ class Engine {
         Consume(program, meta, span.src, Direction::kPush);
       }
     }
-    return edges;
+  }
+
+  // Owner-computes partitioned drain: one worker per destination range, then
+  // the deterministic merges of the per-range side channels.
+  void DrainPartitioned(const Program& program, VertexMeta<Value>& meta,
+                        uint32_t num_buffers, JitController& jit,
+                        CostCounters& cost) {
+    const bool profile = options_.profile_push_replay;
+    PartitionedDrain(
+        pool_, host_threads_, replay_ranges_,
+        [&](uint32_t p) {
+          ReplayScratch& s = replay_scratch_[p];
+          s.cost = CostCounters{};
+          s.activations.clear();
+          s.effects.clear();
+          s.effect_pos.clear();
+          const double t0 = profile ? NowMs() : 0.0;
+          DrainRange(program, meta, num_buffers, p, s);
+          if (profile) {
+            s.wall_ms = NowMs() - t0;
+          }
+        },
+        [&](uint32_t p) {
+          cost += replay_scratch_[p].cost;
+          if (profile) {
+            profile_.range_ms[p] += replay_scratch_[p].wall_ms;
+          }
+        });
+    // Deferred side channels back into exact serial record order: filter
+    // records into the shared bins (overflow latching and charge order match
+    // the serial drain), then Apply effects into the program (SSSP's
+    // pending-list order matches).
+    MergeByPosition(
+        [&](uint32_t p) { return replay_scratch_[p].activations.size(); },
+        [&](uint32_t p, size_t h) { return replay_scratch_[p].activations[h].pos; },
+        [&](uint32_t p, size_t h) {
+          jit.ReplayActivation(replay_scratch_[p].activations[h], cost);
+        });
+    if constexpr (kHasDeferredApply) {
+      MergeByPosition(
+          [&](uint32_t p) { return replay_scratch_[p].effect_pos.size(); },
+          [&](uint32_t p, size_t h) { return replay_scratch_[p].effect_pos[h]; },
+          [&](uint32_t p, size_t h) {
+            program.ReplayApplyEffect(replay_scratch_[p].effects[h]);
+          });
+    }
+  }
+
+  // One range worker's drain: walk every buffer in ascending chunk order,
+  // applying only owned records (ascending record order within the bucket),
+  // with owned sources' ConsumeActivity interleaved at their serial span
+  // positions (a span's consume runs after owned records below its end_pos
+  // and before the one at it — see PushSpanEvent).
+  void DrainRange(const Program& program, VertexMeta<Value>& meta,
+                  uint32_t num_buffers, uint32_t p, ReplayScratch& s) {
+    for (uint32_t b = 0; b < num_buffers; ++b) {
+      const PushBuffer<Value>& buf = push_buffers_[b];
+      const auto& records = buf.records();
+      const std::vector<uint32_t>& owned = buf.RangeRecords(p);
+      if constexpr (kHasConsume) {
+        const std::vector<PushSpanEvent>& spans = buf.RangeSpans(p);
+        size_t si = 0;
+        for (const uint32_t idx : owned) {
+          while (si < spans.size() && spans[si].end_pos <= idx) {
+            Consume(program, meta, spans[si].src, Direction::kPush);
+            ++si;
+          }
+          ReplayRecord(program, meta, records[idx], b, idx, s);
+        }
+        for (; si < spans.size(); ++si) {
+          Consume(program, meta, spans[si].src, Direction::kPush);
+        }
+      } else {
+        for (const uint32_t idx : owned) {
+          ReplayRecord(program, meta, records[idx], b, idx, s);
+        }
+      }
+    }
+  }
+
+  // The per-record statement sequence of DrainSerial, with the two shared
+  // side channels deferred: the online-filter record and any Apply side
+  // effect go to the per-range scratch, tagged with the record's global
+  // position for the serial-order merge. Everything else it touches is
+  // owned by this worker's range.
+  void ReplayRecord(const Program& program, VertexMeta<Value>& meta,
+                    const PushRecord<Value>& rec, uint32_t buffer,
+                    uint32_t index, ReplayScratch& s) {
+    const VertexId u = rec.dst;
+    const uint64_t pos = (static_cast<uint64_t>(buffer) << 32) | index;
+    Value applied;
+    if constexpr (kHasDeferredApply) {
+      const size_t before = s.effects.size();
+      applied = program.ApplyCollect(u, rec.cand, meta.curr(u),
+                                     Direction::kPush, s.effects);
+      for (size_t i = before; i < s.effects.size(); ++i) {
+        s.effect_pos.push_back(pos);
+      }
+    } else {
+      applied = program.Apply(u, rec.cand, meta.curr(u), Direction::kPush);
+    }
+    if (options_.use_atomic_updates) {
+      s.cost.atomic_ops += 1;
+      if (touch_stamp_[u] == stamp_) {
+        s.cost.atomic_conflicts += 1;
+      }
+      touch_stamp_[u] = stamp_;
+    }
+    if (program.ValueChanged(meta.curr(u), applied)) {
+      meta.curr(u) = applied;
+      if (!options_.use_atomic_updates) {
+        s.cost.scattered_words += 1;  // single writer, no atomic (ACC)
+      }
+      // MaybeRecord, deferred: the stamp and the Active check only touch
+      // owned per-vertex state; the bin append must wait for the merge.
+      if (recorded_stamp_[u] != stamp_ &&
+          program.Active(meta.curr(u), meta.prev(u))) {
+        recorded_stamp_[u] = stamp_;
+        s.activations.push_back(DeferredActivation{pos, rec.worker, u});
+      }
+    }
+  }
+
+  // K-way merge of per-range position-sorted streams back into the global
+  // serial record order: size(p)/pos(p, h) describe range p's stream,
+  // emit(p, h) consumes the chosen head. Each stream is position-sorted
+  // (range workers walk the buffers in order) and a position belongs to
+  // exactly one range (one record, one owner), so strict-< selection is
+  // unambiguous and within-range order is preserved. The linear head scan
+  // is O(streams) per element; with streams capped at host_threads it beats
+  // a heap's constant factor — revisit if range counts grow past ~32.
+  template <typename SizeFn, typename PosFn, typename EmitFn>
+  void MergeByPosition(const SizeFn& size, const PosFn& pos,
+                       const EmitFn& emit) {
+    merge_heads_.assign(replay_ranges_, 0);
+    while (true) {
+      uint32_t best = replay_ranges_;
+      uint64_t best_pos = ~0ull;
+      for (uint32_t p = 0; p < replay_ranges_; ++p) {
+        const size_t h = merge_heads_[p];
+        if (h < size(p) && pos(p, h) < best_pos) {
+          best_pos = pos(p, h);
+          best = p;
+        }
+      }
+      if (best == replay_ranges_) {
+        break;
+      }
+      emit(best, merge_heads_[best]++);
+    }
+  }
+
+  // Arms the owner-computes replay for this run: picks the range count,
+  // computes in-degree-balanced boundaries (each destination receives at
+  // most in-degree records per phase, so in-CSR offset mass IS expected
+  // replay work; the +i term splits long zero-degree runs), and fills the
+  // vertex→range owner lookup the collect pass buckets with — range by
+  // range, so each slice is first-touched by a pool thread.
+  void SetupReplayPartition() {
+    const auto n = static_cast<size_t>(graph_.vertex_count());
+    replay_ranges_ = 1;
+    if (!options_.parallel_push_replay || pool_ == nullptr ||
+        host_threads_ <= 1 || n == 0) {
+      if (options_.profile_push_replay) {
+        profile_ = PushReplayProfile{};
+        profile_.ranges = 1;
+      }
+      return;
+    }
+    replay_ranges_ = static_cast<uint32_t>(
+        std::min<size_t>(host_threads_, n));
+    const auto& in_offsets = graph_.in().row_offsets();
+    const std::vector<size_t> boundaries = BalancedRangeBoundaries(
+        n, replay_ranges_,
+        [&](size_t i) { return static_cast<uint64_t>(in_offsets[i]) + i; });
+    if (range_of_vertex_.size() < n) {
+      range_of_vertex_.resize(n);
+    }
+    PartitionedDrain(
+        pool_, host_threads_, replay_ranges_,
+        [&](uint32_t p) {
+          for (size_t v = boundaries[p]; v < boundaries[p + 1]; ++v) {
+            range_of_vertex_[v] = p;
+          }
+        },
+        [](uint32_t) {});
+    if (replay_scratch_.size() < replay_ranges_) {
+      replay_scratch_.resize(replay_ranges_);
+    }
+    if (options_.profile_push_replay) {
+      profile_ = PushReplayProfile{};
+      profile_.ranges = replay_ranges_;
+      profile_.range_ms.assign(replay_ranges_, 0.0);
+    }
   }
 
   // --- pull: every (non-skipped) vertex gathers from contributing
@@ -720,6 +1086,7 @@ class Engine {
     std::vector<std::pair<VertexId, Value>> updates;
   };
 
+
   const Graph& graph_;
   DeviceSpec device_;
   EngineOptions options_;
@@ -736,13 +1103,26 @@ class Engine {
   std::vector<PushBuffer<Value>> push_buffers_;
   // Iteration-stamped "already recorded" marks (avoids duplicate bin
   // entries; the real system tolerates duplicates, our sequential apply
-  // makes exactly-once recording the natural semantics).
-  std::vector<uint32_t> recorded_stamp_;
+  // makes exactly-once recording the natural semantics). NumaVector +
+  // ParallelFill: pages first-touched by pool threads.
+  NumaVector<uint32_t> recorded_stamp_;
   // Same-iteration destination-touch marks for atomic-contention accounting
   // (only allocated when use_atomic_updates is set).
-  std::vector<uint32_t> touch_stamp_;
+  NumaVector<uint32_t> touch_stamp_;
   uint32_t stamp_ = 0;
   uint32_t last_stage_count_ = 0;
+  // Owner-computes replay state (SetupReplayPartition): the range count
+  // (1 = partitioned replay disarmed), the per-vertex owner lookup the
+  // collect pass buckets with, per-range worker scratch, and the merge
+  // cursors.
+  uint32_t replay_ranges_ = 1;
+  // Per-iteration decision made in ProcessPush before the collect: whether
+  // this iteration's records were bucketed (and must drain partitioned).
+  bool collect_bucketed_ = false;
+  NumaVector<uint32_t> range_of_vertex_;
+  std::vector<ReplayScratch> replay_scratch_;
+  std::vector<size_t> merge_heads_;
+  PushReplayProfile profile_;
 };
 
 }  // namespace simdx

@@ -23,6 +23,19 @@ namespace simdx {
 
 using ActivePredicate = std::function<bool(VertexId)>;
 
+// One online-filter record deferred out of the engine's partitioned push
+// replay. Bin contents are order-sensitive (the concatenated bins ARE the
+// next frontier), so range workers must not touch the shared bins; they
+// buffer (worker, v) pairs tagged with the (chunk, record) position that
+// produced them, and the engine merges the per-range buffers by `pos` —
+// restoring the global serial record order — before feeding them to
+// JitController::ReplayActivation.
+struct DeferredActivation {
+  uint64_t pos;  // (chunk index << 32) | record index: the serial merge key
+  uint32_t worker;
+  VertexId v;
+};
+
 // Per-chunk output buffers for the parallel ballot scan, owned by the caller
 // (the JIT controller) so the per-iteration scan allocates nothing once warm.
 struct BallotScratch {

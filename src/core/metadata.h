@@ -8,7 +8,14 @@
 // `curr` — the push collect pass and the pull gather both run in that
 // window, so they may read `curr`/`prev` concurrently from any number of
 // host threads with every write deferred to the ordered replay that
-// follows.
+// follows. The partitioned replay additionally writes curr from multiple
+// threads, but each vertex's slot from exactly one (owner-computes).
+//
+// Storage uses NumaVector (default-init allocator): for trivial Values the
+// arrays' pages stay unmapped through resize and are faulted in by whichever
+// thread first writes them, so the parallel-init constructor below gives
+// first-touch NUMA placement (non-trivial Values run their constructors at
+// resize — placement is then best-effort).
 #ifndef SIMDX_CORE_METADATA_H_
 #define SIMDX_CORE_METADATA_H_
 
@@ -34,13 +41,31 @@ class VertexMeta {
     prev_ = curr_;
   }
 
+  // Parallel first-touch construction: init(v) is written through
+  // ParallelFor so each page lands on a thread that will scan that vertex
+  // range. A plain per-element store of the same values — identical
+  // contents for any thread count, including the serial fallback.
+  template <typename InitFn>
+  VertexMeta(VertexId vertex_count, InitFn init, ThreadPool* pool,
+             uint32_t threads) {
+    curr_.resize(vertex_count);
+    prev_.resize(vertex_count);
+    ParallelRange(vertex_count, pool, threads, 8192,
+                  [&](size_t begin, size_t end) {
+                    for (size_t v = begin; v < end; ++v) {
+                      curr_[v] = init(static_cast<VertexId>(v));
+                      prev_[v] = curr_[v];
+                    }
+                  });
+  }
+
   VertexId size() const { return static_cast<VertexId>(curr_.size()); }
 
   const Value& curr(VertexId v) const { return curr_[v]; }
   Value& curr(VertexId v) { return curr_[v]; }
   const Value& prev(VertexId v) const { return prev_[v]; }
 
-  const std::vector<Value>& values() const { return curr_; }
+  const NumaVector<Value>& values() const { return curr_; }
 
   // Frontier generation committed: from now on "changed" means changed
   // relative to this instant.
@@ -62,8 +87,8 @@ class VertexMeta {
   }
 
  private:
-  std::vector<Value> curr_;
-  std::vector<Value> prev_;
+  NumaVector<Value> curr_;
+  NumaVector<Value> prev_;
 };
 
 }  // namespace simdx

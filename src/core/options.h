@@ -59,6 +59,30 @@ struct EngineOptions {
   // code path, chunk by chunk in order on the calling thread.
   uint32_t host_threads = 0;
 
+  // --- Host-runtime knobs (wall-clock only; never change simulated stats).
+
+  // Owner-computes parallel replay of the push phase: destination ranges
+  // partitioned by in-degree mass, one replay worker per range (engine.h).
+  // Off forces the ordered serial drain regardless of host_threads; at
+  // host_threads == 1 the serial drain is selected either way.
+  bool parallel_push_replay = true;
+
+  // Push iterations that buffered fewer records than this take the serial
+  // drain even when the partitioned replay is on (identical results; the
+  // partition bookkeeping isn't worth a few thousand applies). Tests set 0
+  // to force the partitioned path on tiny graphs.
+  size_t parallel_replay_min_records = 2048;
+
+  // Initialize the metadata and per-vertex stamp arrays through ParallelFor
+  // so their pages are first touched by the threads that will scan them
+  // (NUMA placement). Identical values either way.
+  bool first_touch_init = true;
+
+  // Record host wall-clock collect/replay splits and per-range replay busy
+  // times (Engine::push_profile(), bench/push_replay). Off by default to
+  // keep clock reads out of the hot loop.
+  bool profile_push_replay = false;
+
   // 0 = use the device's global_memory_bytes. Benches shrink this by the
   // preset scale factor so the paper's OOM rows reproduce.
   size_t memory_budget_bytes = 0;

@@ -182,6 +182,32 @@ size_t SuggestedGrain(size_t n, uint32_t threads, size_t min_grain, size_t align
   return std::max<size_t>(grain, 1);
 }
 
+std::vector<size_t> BalancedRangeBoundaries(
+    size_t n, uint32_t parts, const std::function<uint64_t(size_t)>& cum) {
+  const uint32_t p = std::max(1u, parts);
+  std::vector<size_t> boundaries(p + 1, n);
+  boundaries[0] = 0;
+  const uint64_t total = cum(n);
+  for (uint32_t k = 1; k < p; ++k) {
+    // Smallest i with cum(i) >= total * k / parts. The multiply cannot
+    // overflow for any graph this simulator holds (edge counts are far below
+    // 2^57); keep the division last so targets are exact.
+    const uint64_t target = total / p * k + total % p * k / p;
+    size_t lo = boundaries[k - 1];
+    size_t hi = n;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (cum(mid) < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    boundaries[k] = lo;
+  }
+  return boundaries;
+}
+
 ChunkPlan PlanChunks(size_t n, uint32_t threads, size_t min_grain,
                      size_t serial_below, bool have_pool) {
   ChunkPlan plan;

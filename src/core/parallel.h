@@ -20,9 +20,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace simdx {
@@ -188,6 +191,113 @@ void CollectAndDrain(ThreadPool* pool, uint32_t threads, size_t n,
   for (uint32_t i = 0; i < plan.chunks; ++i) {
     drain(buffers[i]);
   }
+}
+
+// Contiguous boundaries of a weighted partition of [0, n) into `parts`
+// ranges: boundaries[p] .. boundaries[p+1] is range p, boundaries.front() is
+// 0 and boundaries.back() is n. `cum(i)` is the cumulative weight of the
+// elements [0, i) (monotone non-decreasing; cum(0) == 0). Each boundary is
+// the smallest index whose cumulative weight reaches p/parts of the total,
+// so ranges balance by weight mass, not element count — the engine feeds the
+// in-CSR row offsets here so push-replay ranges balance by incoming records.
+// Ranges may be empty (heavier-than-average single elements, parts > n).
+std::vector<size_t> BalancedRangeBoundaries(
+    size_t n, uint32_t parts, const std::function<uint64_t(size_t)>& cum);
+
+// Owner-computes partitioned drain, the parallel sibling of CollectAndDrain:
+// `drain(p)` runs once per partition index in [0, parts) — in parallel when
+// a pool is available — and must touch only state its partition owns
+// (disjoint destination ranges), so partitions never race and no ordering
+// between them is observable. `merge(p)` then runs once per partition in
+// ascending partition order on the calling thread; order-sensitive side
+// channels the partition workers buffered (counters, deferred records) fold
+// deterministically there. With no pool / one thread / one partition the
+// drains run inline in ascending order — the exact serial pass.
+template <typename DrainFn, typename MergeFn>
+void PartitionedDrain(ThreadPool* pool, uint32_t threads, uint32_t parts,
+                      const DrainFn& drain, const MergeFn& merge) {
+  if (parts == 0) {
+    return;
+  }
+  if (pool == nullptr || threads <= 1 || parts == 1) {
+    for (uint32_t p = 0; p < parts; ++p) {
+      drain(p);
+    }
+  } else {
+    pool->ParallelFor(0, parts, 1, threads, [&](const ParallelChunk& c) {
+      for (size_t p = c.begin; p < c.end; ++p) {
+        drain(static_cast<uint32_t>(p));
+      }
+    });
+  }
+  for (uint32_t p = 0; p < parts; ++p) {
+    merge(p);
+  }
+}
+
+// Allocator whose construct() default-initializes instead of value-
+// initializing: vector<T, DefaultInitAllocator<T>>::resize on a trivial T
+// writes nothing, so the pages of a freshly grown array stay unmapped until
+// first use. Combined with ParallelFill below this gives first-touch NUMA
+// placement: the thread that will scan a range is the one whose write faults
+// its pages in. (Non-trivial T still runs its constructor at resize —
+// placement on such arrays is best-effort.)
+template <typename T, typename Base = std::allocator<T>>
+class DefaultInitAllocator : public Base {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<
+        U, typename std::allocator_traits<Base>::template rebind_alloc<U>>;
+  };
+
+  using Base::Base;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<Base>::construct(*this, ptr,
+                                           std::forward<Args>(args)...);
+  }
+};
+
+template <typename T>
+using NumaVector = std::vector<T, DefaultInitAllocator<T>>;
+
+// Chunked parallel execution of fn(begin, end) over [0, n), with the shared
+// serial fallback (no pool, one thread, or a range too small to split). The
+// decomposition depends only on (n, threads, min_grain); fn must be safe for
+// concurrent disjoint ranges. The single home of this dispatch — the
+// first-touch initializers below and VertexMeta's parallel constructor all
+// route through it.
+template <typename RangeFn>
+void ParallelRange(size_t n, ThreadPool* pool, uint32_t threads,
+                   size_t min_grain, const RangeFn& fn) {
+  if (pool == nullptr || threads <= 1 || n < 2 * min_grain) {
+    fn(size_t{0}, n);
+    return;
+  }
+  pool->ParallelFor(0, n, SuggestedGrain(n, threads, min_grain), threads,
+                    [&](const ParallelChunk& c) { fn(c.begin, c.end); });
+}
+
+// First-touch fill: writes value(i) for i in [0, n) through ParallelFor so
+// each page is faulted in by a thread that will later work that range. The
+// result is a plain per-element store — identical for any thread count.
+template <typename Vec, typename ValueFn>
+void ParallelFill(Vec& out, size_t n, ThreadPool* pool, uint32_t threads,
+                  size_t min_grain, const ValueFn& value) {
+  if (out.size() < n) {
+    out.resize(n);
+  }
+  ParallelRange(n, pool, threads, min_grain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = value(i);
+    }
+  });
 }
 
 // Deterministic ordered reduction: runs `map` once per chunk in parallel,

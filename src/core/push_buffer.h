@@ -10,18 +10,46 @@
 //      the traversal costs to the chunk-private `cost` counters, and appends
 //      one PushRecord per out-edge, grouped under a PushSourceSpan per
 //      source vertex.
-//   2. REPLAY (ordered): the engine drains the buffers in ascending chunk
-//      index order — which is exactly work-list order, independent of grain
-//      and thread count — performing Apply, the `curr` writes, the atomic-
-//      contention accounting, the online-filter recording and
-//      ConsumeActivity in the statement order a sequential walk would.
+//   2. REPLAY: the buffers drain in ascending chunk index order — which is
+//      exactly work-list order, independent of grain and thread count. At
+//      host_threads == 1 (or for small iterations) a single serial pass
+//      performs Apply, the `curr` writes, the atomic-contention accounting,
+//      the online-filter recording and ConsumeActivity in the statement
+//      order a sequential walk would. Otherwise the OWNER-COMPUTES parallel
+//      replay runs: the destination-vertex space is split into P disjoint
+//      ranges (degree-weighted so ranges balance by incoming records), and
+//      each replay worker walks all buffers in ascending chunk order
+//      applying only the records whose `dst` falls in its owned range.
+//      Every piece of state a record touches — curr(dst), the touch/record
+//      stamps, the park decision — is keyed by one vertex, and all of a
+//      vertex's records reach its single owner in ascending chunk-then-
+//      record order, so the PER-DESTINATION Apply order is exactly the
+//      serial order and every value, stamp and conflict count is
+//      bit-identical to the serial drain. Order-sensitive side channels
+//      (cost counters, online-filter records, Apply side effects like SSSP
+//      bucket parks) go to per-range scratch and are merged back
+//      deterministically — counters in range order (pure integer sums),
+//      record streams by their (chunk, record) position, i.e. the global
+//      serial order.
+//
+// To give replay workers their records without scanning foreign ones, the
+// collect pass optionally bucketizes: BeginCollect(P, track_spans) makes
+// every Append file the record's index under its destination's range, and —
+// when the program defines ConsumeActivity — every closed source span file
+// a SpanEvent under the SOURCE's range, tagged with the record index the
+// span ends at. A replay worker then merges its record bucket and its span
+// bucket by position, which reproduces the serial interleaving of Apply and
+// ConsumeActivity for every vertex it owns (a source that also receives
+// same-phase updates sees them land around its consume exactly as the
+// serial drain would).
 //
 // Buffer memory model: one buffer per chunk, owned by the engine and reused
-// across iterations. Clear() keeps capacity, so after the first iteration at
-// a given frontier volume the steady state allocates nothing; a larger
-// iteration regrows the vectors (amortized doubling) and the capacity then
-// persists. Worst-case footprint is one record per pushed edge —
-// sizeof(PushRecord<Value>) * frontier out-edges across all buffers.
+// across iterations. Clear()/BeginCollect() keep capacity, so after the
+// first iteration at a given frontier volume the steady state allocates
+// nothing; a larger iteration regrows the vectors (amortized doubling) and
+// the capacity then persists. Worst-case footprint is one record per pushed
+// edge — sizeof(PushRecord<Value>) * frontier out-edges across all buffers —
+// plus one uint32 index per record when range bucketing is on.
 #ifndef SIMDX_CORE_PUSH_BUFFER_H_
 #define SIMDX_CORE_PUSH_BUFFER_H_
 
@@ -51,39 +79,118 @@ struct PushSourceSpan {
   uint32_t num_records;
 };
 
+// A closed source span filed under the source's destination range: the
+// owner must run ConsumeActivity for `src` after applying its owned records
+// with index < `end_pos` and before the one at `end_pos` (if any) — the
+// serial consume position.
+struct PushSpanEvent {
+  uint32_t end_pos;
+  VertexId src;
+};
+
 template <typename Value>
 class PushBuffer {
  public:
   // Collect-side charges for this chunk (header + adjacency + per-edge
   // words); merged into the iteration counters in chunk order. Replay-side
-  // charges (atomics, value-changed writes, filter records) are applied
-  // directly to the iteration counters during the ordered drain.
+  // charges (atomics, value-changed writes, filter records) are accumulated
+  // by the drain — directly into the iteration counters (serial drain) or
+  // into per-range scratch merged in range order (partitioned drain).
   CostCounters cost;
   uint64_t edges = 0;
 
   // Keeps capacity: the hot loop reuses one buffer per chunk slot across
-  // iterations without reallocating.
+  // iterations without reallocating. Leaves range bucketing off.
   void Clear() {
     records_.clear();
     sources_.clear();
     cost = CostCounters{};
     edges = 0;
+    ranges_ = 0;
+    track_spans_ = false;
   }
 
-  void BeginSource(VertexId src) { sources_.push_back(PushSourceSpan{src, 0}); }
+  // Clear + arm destination-range bucketing for `ranges` replay ranges.
+  // `track_spans` additionally files one PushSpanEvent per closed source
+  // span (only wanted when the program defines ConsumeActivity). Bucket
+  // vectors keep their capacity across iterations like everything else.
+  void BeginCollect(uint32_t ranges, bool track_spans) {
+    Clear();
+    ranges_ = ranges;
+    track_spans_ = track_spans;
+    if (ranges_ > 1) {
+      if (range_records_.size() < ranges_) {
+        range_records_.resize(ranges_);
+      }
+      for (uint32_t r = 0; r < ranges_; ++r) {
+        range_records_[r].clear();
+      }
+      if (track_spans_) {
+        if (range_spans_.size() < ranges_) {
+          range_spans_.resize(ranges_);
+        }
+        for (uint32_t r = 0; r < ranges_; ++r) {
+          range_spans_[r].clear();
+        }
+      }
+    }
+  }
 
-  void Append(VertexId dst, uint32_t worker, const Value& cand) {
+  // `src_range` is the replay range owning `src` (pass 0 when bucketing is
+  // not armed). No default on purpose: with BeginCollect(ranges > 1) armed,
+  // a wrong range here or in Append means a record replayed by a non-owner —
+  // a silent race — so every caller must consult the owner lookup.
+  void BeginSource(VertexId src, uint32_t src_range) {
+    CloseOpenSpan();
+    sources_.push_back(PushSourceSpan{src, 0});
+    open_src_range_ = src_range;
+  }
+
+  void Append(VertexId dst, uint32_t worker, const Value& cand,
+              uint32_t dst_range) {
+    if (ranges_ > 1) {
+      range_records_[dst_range].push_back(
+          static_cast<uint32_t>(records_.size()));
+    }
     records_.push_back(PushRecord<Value>{dst, worker, cand});
     ++sources_.back().num_records;
   }
+
+  // Files the final span event; must be called once after the last source
+  // when span tracking is armed (harmless otherwise).
+  void FinishCollect() { CloseOpenSpan(); }
 
   bool empty() const { return sources_.empty(); }
   const std::vector<PushRecord<Value>>& records() const { return records_; }
   const std::vector<PushSourceSpan>& sources() const { return sources_; }
 
+  // Indices into records() owned by range `r`, ascending (= serial order
+  // restricted to that range's destinations). Valid only after a
+  // BeginCollect with ranges > 1.
+  const std::vector<uint32_t>& RangeRecords(uint32_t r) const {
+    return range_records_[r];
+  }
+  const std::vector<PushSpanEvent>& RangeSpans(uint32_t r) const {
+    return range_spans_[r];
+  }
+
  private:
+  void CloseOpenSpan() {
+    if (track_spans_ && ranges_ > 1 && !sources_.empty()) {
+      range_spans_[open_src_range_].push_back(
+          PushSpanEvent{static_cast<uint32_t>(records_.size()),
+                        sources_.back().src});
+    }
+  }
+
   std::vector<PushRecord<Value>> records_;
   std::vector<PushSourceSpan> sources_;
+  // Owner-computes replay buckets (see file comment), armed by BeginCollect.
+  std::vector<std::vector<uint32_t>> range_records_;
+  std::vector<std::vector<PushSpanEvent>> range_spans_;
+  uint32_t ranges_ = 0;
+  uint32_t open_src_range_ = 0;
+  bool track_spans_ = false;
 };
 
 }  // namespace simdx

@@ -313,14 +313,169 @@ TEST(EnginePushDeterminismTest, UnclassifiedFrontierPathMatches) {
   });
 }
 
+// --- Partitioned push replay (owner-computes drain) ---
+
+// A funnel: root -> `sources` spokes, every spoke -> each of `hubs` hub
+// vertices (ids 1..hubs). One push iteration scatters sources*hubs records
+// converging on `hubs` destinations — the worst case for destination
+// partitioning (nearly all ranges empty, massive per-destination record
+// chains whose apply order must stay serial). `park_weights` makes the
+// spoke->hub weights straddle SSSP's bucket limit so delta-stepping parks
+// from inside the partitioned replay.
+Graph MakeFunnelGraph(uint32_t sources, uint32_t hubs, bool park_weights) {
+  EdgeList e;
+  const VertexId first_spoke = 1 + hubs;
+  for (uint32_t i = 0; i < sources; ++i) {
+    e.Add(0, first_spoke + i, 1 + i % 7);
+    for (uint32_t h = 0; h < hubs; ++h) {
+      const Weight w =
+          park_weights ? 20 + (i * 13 + h * 5) % 40 : 1 + (i + h) % 5;
+      e.Add(first_spoke + i, 1 + h, w);
+    }
+  }
+  for (uint32_t h = 0; h < hubs; ++h) {
+    e.Add(1 + h, first_spoke + sources, 2);  // a tail so hubs push onward
+  }
+  return Graph::FromEdges(e, /*directed=*/true);
+}
+
+EngineOptions PartitionedPushOptions(uint32_t host_threads) {
+  EngineOptions o;
+  o.host_threads = host_threads;
+  o.force_push = true;
+  // Engage the partitioned drain even for tiny iterations; the tests below
+  // are exactly about its boundary behaviour.
+  o.parallel_replay_min_records = 0;
+  return o;
+}
+
+template <typename RunFn>
+void SweepPartitionedThreads(const RunFn& run) {
+  const auto serial = run(PartitionedPushOptions(1));
+  ASSERT_TRUE(serial.stats.ok());
+  for (uint32_t threads : {2u, 3u, 8u}) {
+    const auto parallel = run(PartitionedPushOptions(threads));
+    ExpectIdenticalRuns(serial, parallel);
+    EXPECT_TRUE(serial.stats.counters == parallel.stats.counters) << threads;
+  }
+}
+
+TEST(PartitionedReplayTest, HighContentionBfsDeterministic) {
+  // Thousands of records, three destinations: almost every range a worker
+  // owns is empty, and the owned ones carry very long apply chains.
+  const Graph g = MakeFunnelGraph(2000, 3, /*park_weights=*/false);
+  SweepPartitionedThreads(
+      [&](const EngineOptions& o) { return RunBfs(g, 0, MakeK40(), o); });
+}
+
+TEST(PartitionedReplayTest, HighContentionSsspParksDeterministically) {
+  // Spoke->hub weights straddle the delta bucket, so Apply parks from
+  // concurrent range workers; the deferred-effect merge must reproduce the
+  // serial pending-list order (RefillFrontier drains it in order, so any
+  // reordering changes the released frontier and trips the gate).
+  const Graph g = MakeFunnelGraph(1500, 3, /*park_weights=*/true);
+  SweepPartitionedThreads(
+      [&](const EngineOptions& o) { return RunSssp(g, 0, MakeK40(), o); });
+}
+
+TEST(PartitionedReplayTest, HighContentionPageRankConsumeInterleaves) {
+  // All-push PageRank on the funnel: hubs are sources AND heavily-contended
+  // destinations of the same phase, so their ConsumeActivity must land at
+  // its serial span position between owned applies (FP addition does not
+  // commute — any reordering shows up bit-for-bit).
+  const Graph g = MakeFunnelGraph(800, 4, /*park_weights=*/false);
+  SweepPartitionedThreads([&](const EngineOptions& o) {
+    return RunPageRank(g, MakeK40(), o, /*epsilon=*/1e-10);
+  });
+}
+
+TEST(PartitionedReplayTest, KCorePartitionedPushDeterministic) {
+  // k-Core's push frontiers are tiny (< n/50 vertices), so with the default
+  // min-records threshold its partitioned drain never engages in the other
+  // sweeps; min_records=0 forces it. Also guards the KCoreValue byte
+  // representation: the gates hash raw value bytes, so the value type must
+  // stay padding-free (see kcore.h).
+  const Graph g = Graph::FromEdges(GenerateRmat(11, 8, 43), /*directed=*/false);
+  SweepPartitionedThreads(
+      [&](const EngineOptions& o) { return RunKCore(g, 8, MakeK40(), o); });
+}
+
+TEST(PartitionedReplayTest, HighContentionAtomicConflictsDeterministic) {
+  const Graph g = MakeFunnelGraph(1200, 2, /*park_weights=*/false);
+  SweepPartitionedThreads([&](EngineOptions o) {
+    o.use_atomic_updates = true;
+    o.enable_vote_early_exit = false;
+    return RunBfs(g, 0, MakeK40(), o);
+  });
+}
+
+TEST(PartitionedReplayTest, MoreRangesThanTouchedDestinations) {
+  // A 5-vertex chain at 8 threads: P = min(8, 5) ranges, at most one
+  // destination touched per iteration — single-dst ranges and empty ranges
+  // in the same drain.
+  EdgeList e;
+  for (VertexId v = 0; v < 4; ++v) {
+    e.Add(v, v + 1, 1);
+  }
+  const Graph g = Graph::FromEdges(e, /*directed=*/true);
+  SweepPartitionedThreads(
+      [&](const EngineOptions& o) { return RunBfs(g, 0, MakeK40(), o); });
+  SweepPartitionedThreads(
+      [&](const EngineOptions& o) { return RunSssp(g, 0, MakeK40(), o); });
+}
+
+TEST(PartitionedReplayTest, DisablingFallsBackToSerialDrainIdentically) {
+  const Graph g = Graph::FromEdges(GenerateRmat(11, 8, 37), /*directed=*/false);
+  const auto run = [&](EngineOptions o) { return RunWcc(g, MakeK40(), o); };
+  const auto serial = run(PartitionedPushOptions(1));
+  EngineOptions off = PartitionedPushOptions(8);
+  off.parallel_push_replay = false;
+  ExpectIdenticalRuns(serial, run(off));
+  EngineOptions lazy = PartitionedPushOptions(8);
+  lazy.parallel_replay_min_records = 1u << 30;  // always below: serial drain
+  ExpectIdenticalRuns(serial, run(lazy));
+}
+
+TEST(PartitionedReplayTest, FirstTouchToggleChangesNothing) {
+  const Graph g = Graph::FromEdges(GenerateRmat(11, 8, 41), /*directed=*/true);
+  EngineOptions on = OptionsWithThreads(8);
+  on.first_touch_init = true;
+  EngineOptions off = OptionsWithThreads(8);
+  off.first_touch_init = false;
+  ExpectIdenticalRuns(RunPageRank(g, MakeK40(), on),
+                      RunPageRank(g, MakeK40(), off));
+  ExpectIdenticalRuns(RunBfs(g, 0, MakeK40(), on), RunBfs(g, 0, MakeK40(), off));
+}
+
+TEST(PartitionedReplayTest, ProfileShowsPartitionedDrainOnRangeWorkers) {
+  const Graph g = MakeFunnelGraph(1000, 3, /*park_weights=*/false);
+  EngineOptions o = PartitionedPushOptions(4);
+  o.profile_push_replay = true;
+  BfsProgram program;
+  program.source = 0;
+  Engine<BfsProgram> engine(g, MakeK40(), o);
+  const auto result = engine.Run(program);
+  ASSERT_TRUE(result.stats.ok());
+  const PushReplayProfile& prof = engine.push_profile();
+  EXPECT_GT(prof.ranges, 1u);
+  EXPECT_GT(prof.partitioned_replays, 0u);
+  ASSERT_EQ(prof.range_ms.size(), prof.ranges);
+  EXPECT_EQ(prof.iterations.size(),
+            prof.partitioned_replays + prof.serial_replays);
+  for (const PushReplayIterationSplit& it : prof.iterations) {
+    EXPECT_GE(it.collect_ms, 0.0);
+    EXPECT_GE(it.replay_ms, 0.0);
+  }
+}
+
 // --- PushBuffer mechanics ---
 
 TEST(PushBufferTest, RegrowsAndReusesCapacity) {
   PushBuffer<uint32_t> buf;
   // First fill: everything regrows from empty.
-  buf.BeginSource(7);
+  buf.BeginSource(7, /*src_range=*/0);
   for (uint32_t i = 0; i < 1000; ++i) {
-    buf.Append(/*dst=*/i, /*worker=*/i % 48, /*cand=*/i * 3);
+    buf.Append(/*dst=*/i, /*worker=*/i % 48, /*cand=*/i * 3, /*dst_range=*/0);
   }
   ASSERT_EQ(buf.records().size(), 1000u);
   ASSERT_EQ(buf.sources().size(), 1u);
@@ -334,8 +489,8 @@ TEST(PushBufferTest, RegrowsAndReusesCapacity) {
   EXPECT_EQ(buf.records().capacity(), warm_capacity);
   EXPECT_EQ(buf.cost.alu_ops, 0u);
   EXPECT_EQ(buf.edges, 0u);
-  buf.BeginSource(3);
-  buf.Append(9, 1, 42);
+  buf.BeginSource(3, /*src_range=*/0);
+  buf.Append(9, 1, 42, /*dst_range=*/0);
   EXPECT_EQ(buf.records().capacity(), warm_capacity);
   ASSERT_EQ(buf.records().size(), 1u);
   EXPECT_EQ(buf.records()[0].dst, 9u);
@@ -346,9 +501,9 @@ TEST(PushBufferTest, RegrowsAndReusesCapacity) {
   buf.Clear();
   const uint32_t overflow = static_cast<uint32_t>(warm_capacity) + 123;
   for (uint32_t v = 0; v < 4; ++v) {
-    buf.BeginSource(v);
+    buf.BeginSource(v, /*src_range=*/0);
     for (uint32_t i = 0; i < overflow / 4 + 1; ++i) {
-      buf.Append(v * 100000 + i, v, v + i);
+      buf.Append(v * 100000 + i, v, v + i, /*dst_range=*/0);
     }
   }
   EXPECT_GT(buf.records().capacity(), warm_capacity);
@@ -400,6 +555,71 @@ TEST(CollectAndDrainTest, DrainOrderIsChunkOrderForAnyThreadCount) {
   }
   for (uint32_t threads : {2u, 4u}) {
     EXPECT_EQ(run(threads), serial) << threads;
+  }
+}
+
+TEST(PartitionedDrainTest, DrainsEachPartitionOnceMergesInOrder) {
+  ThreadPool pool(4);
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    for (uint32_t parts : {1u, 5u, 16u}) {
+      std::vector<int> drained(parts, 0);
+      std::vector<uint32_t> merge_order;
+      PartitionedDrain(
+          &pool, threads, parts, [&](uint32_t p) { drained[p] += 1; },
+          [&](uint32_t p) { merge_order.push_back(p); });
+      for (uint32_t p = 0; p < parts; ++p) {
+        EXPECT_EQ(drained[p], 1) << threads << " " << parts;
+        ASSERT_LT(p, merge_order.size());
+        EXPECT_EQ(merge_order[p], p);  // ascending partition order, always
+      }
+    }
+  }
+  int calls = 0;
+  PartitionedDrain(
+      &pool, 4, 0, [&](uint32_t) { ++calls; }, [&](uint32_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(PartitionedDrainTest, NullPoolRunsInline) {
+  std::vector<uint32_t> order;
+  PartitionedDrain(
+      nullptr, 8, 4, [&](uint32_t p) { order.push_back(p); },
+      [&](uint32_t p) { order.push_back(100 + p); });
+  const std::vector<uint32_t> expect = {0, 1, 2, 3, 100, 101, 102, 103};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(BalancedRangeBoundariesTest, UniformWeightsSplitEvenly) {
+  const auto b =
+      BalancedRangeBoundaries(100, 4, [](size_t i) { return uint64_t{i}; });
+  const std::vector<size_t> expect = {0, 25, 50, 75, 100};
+  EXPECT_EQ(b, expect);
+}
+
+TEST(BalancedRangeBoundariesTest, SkewedMassShrinksHeavyRanges) {
+  // Vertex 0 carries half the total mass: the first range must be just it.
+  const uint64_t heavy = 99;
+  const auto cum = [&](size_t i) {
+    return i == 0 ? uint64_t{0} : heavy + (i - 1);
+  };
+  const auto b = BalancedRangeBoundaries(100, 4, cum);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 100u);
+  EXPECT_EQ(b[1], 1u);  // the heavy vertex alone reaches the 1/4 target
+  for (size_t k = 1; k < b.size(); ++k) {
+    EXPECT_GE(b[k], b[k - 1]);
+  }
+}
+
+TEST(BalancedRangeBoundariesTest, MorePartsThanElements) {
+  const auto b =
+      BalancedRangeBoundaries(3, 8, [](size_t i) { return uint64_t{i}; });
+  ASSERT_EQ(b.size(), 9u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 3u);
+  for (size_t k = 1; k < b.size(); ++k) {
+    EXPECT_GE(b[k], b[k - 1]);  // empty trailing ranges are legal
   }
 }
 
