@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string_view>
@@ -187,13 +188,28 @@ double HostNowMs() {
 }
 
 uint32_t ParseU32Flag(const std::string& s, const char* flag) {
-  try {
-    size_t pos = 0;
-    const unsigned long v = std::stoul(s, &pos);
-    if (pos == s.size()) {
-      return static_cast<uint32_t>(v);
+  const uint64_t v = ParseU64Flag(s, flag);
+  if (v > std::numeric_limits<uint32_t>::max()) {
+    std::cerr << "error: " << flag << " out of uint32 range: '" << s << "'\n";
+    std::exit(2);
+  }
+  return static_cast<uint32_t>(v);
+}
+
+uint64_t ParseU64Flag(const std::string& s, const char* flag) {
+  // stoull silently negates-and-wraps "-1"; reject anything but digits up
+  // front so a typo'd seed can never record a wrapped value in the JSON.
+  const bool all_digits =
+      !s.empty() && s.find_first_not_of("0123456789") == std::string::npos;
+  if (all_digits) {
+    try {
+      size_t pos = 0;
+      const unsigned long long v = std::stoull(s, &pos);
+      if (pos == s.size()) {
+        return static_cast<uint64_t>(v);
+      }
+    } catch (const std::exception&) {
     }
-  } catch (const std::exception&) {
   }
   std::cerr << "error: " << flag << " expects a number, got '" << s << "'\n";
   std::exit(2);

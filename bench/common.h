@@ -86,6 +86,9 @@ double HostNowMs();
 // Strict uint32 parse; exits(2) with a message naming `flag` on failure.
 uint32_t ParseU32Flag(const std::string& s, const char* flag);
 
+// Strict uint64 parse (full-range generator seeds); exits(2) on failure.
+uint64_t ParseU64Flag(const std::string& s, const char* flag);
+
 // Comma-separated thread list, e.g. "1,2,4,8".
 std::vector<uint32_t> ParseThreadList(const std::string& s, const char* flag);
 
@@ -94,11 +97,14 @@ std::vector<uint32_t> ParseThreadList(const std::string& s, const char* flag);
 // determinism gates remain valid).
 void WarnIfSingleCore();
 
-// The simulated-statistics fingerprint the determinism gates freeze: every
-// CostCounters field, the derived times, the filter/direction patterns, and
-// an FNV-1a hash over the raw output-value bytes (a race that corrupts
-// values while leaving every counter intact must still trip the gate). ONE
-// definition on purpose — host_scaling and push_replay must agree on what
+// The simulated-statistics fingerprint the determinism gates freeze: the
+// stats contract the run was accounted under (leading field — fingerprints
+// recorded under different contracts are DIFFERENT BY DESIGN and must never
+// compare equal), every CostCounters field, the derived times, the
+// filter/direction patterns, and an FNV-1a hash over the raw output-value
+// bytes (a race that corrupts values while leaving every counter intact must
+// still trip the gate). ONE definition on purpose — host_scaling,
+// push_replay and the differential determinism harness must agree on what
 // "identical stats" means or a divergence could pass one gate and fail the
 // other.
 template <typename Value>
@@ -111,7 +117,8 @@ std::string StatsFingerprint(const RunResult<Value>& r) {
   std::ostringstream os;
   const CostCounters& c = r.stats.counters;
   os.precision(17);
-  os << r.stats.iterations << '|' << c.coalesced_words << '|'
+  os << ToString(r.stats.contract) << '|' << r.stats.iterations << '|'
+     << c.coalesced_words << '|'
      << c.scattered_words << '|' << c.atomic_ops << '|' << c.atomic_conflicts
      << '|' << c.alu_ops << '|' << c.kernel_launches << '|'
      << c.barrier_crossings << '|' << r.stats.time.ms << '|'

@@ -10,7 +10,10 @@
 // --json <path>) so future PRs can track the perf trajectory.
 //
 //   host_scaling [--scale N] [--edge-factor N] [--threads 1,2,4,8]
-//                [--repeats N] [--json out.json] [--smoke]
+//                [--repeats N] [--seed N] [--json out.json] [--smoke]
+//
+// --seed selects the RMAT generator seed (default 42) so recorded JSON runs
+// are reproducible byte-for-byte.
 //
 // --smoke: CI divergence gate — scale 13, 1 repeat, threads {1,2} (no
 // speedup expectations, exit code reflects determinism only).
@@ -37,6 +40,7 @@ namespace {
 struct Args {
   uint32_t scale = 17;       // 2^17 vertices
   uint32_t edge_factor = 8;  // ~1M directed edges
+  uint64_t seed = 42;
   std::vector<uint32_t> threads = {1, 2, 4, 8};
   uint32_t repeats = 3;
   std::string json_path;
@@ -50,6 +54,8 @@ Args Parse(int argc, char** argv) {
       args.scale = bench::ParseU32Flag(argv[++i], "--scale");
     } else if (a == "--edge-factor" && i + 1 < argc) {
       args.edge_factor = bench::ParseU32Flag(argv[++i], "--edge-factor");
+    } else if (a == "--seed" && i + 1 < argc) {
+      args.seed = bench::ParseU64Flag(argv[++i], "--seed");
     } else if (a == "--repeats" && i + 1 < argc) {
       args.repeats = bench::ParseU32Flag(argv[++i], "--repeats");
     } else if (a == "--json" && i + 1 < argc) {
@@ -63,7 +69,7 @@ Args Parse(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--scale N] [--edge-factor N] [--threads 1,2,4,8]"
-                   " [--repeats N] [--json out.json] [--smoke]\n";
+                   " [--repeats N] [--seed N] [--json out.json] [--smoke]\n";
       std::exit(2);
     }
   }
@@ -129,9 +135,10 @@ int main(int argc, char** argv) {
   bench::WarnIfSingleCore();
 
   std::cerr << "building RMAT scale=" << args.scale
-            << " edge_factor=" << args.edge_factor << "...\n";
+            << " edge_factor=" << args.edge_factor << " seed=" << args.seed
+            << "...\n";
   const Graph g = Graph::FromEdges(
-      GenerateRmat(args.scale, args.edge_factor, /*seed=*/42), /*directed=*/true);
+      GenerateRmat(args.scale, args.edge_factor, args.seed), /*directed=*/true);
   std::cerr << "graph: " << g.vertex_count() << " vertices, " << g.edge_count()
             << " edges\n";
 
@@ -194,7 +201,7 @@ int main(int argc, char** argv) {
   json << std::fixed;
   json << "{\n  \"graph\": {\"vertices\": " << g.vertex_count()
        << ", \"edges\": " << g.edge_count() << ", \"rmat_scale\": " << args.scale
-       << "},\n  \"hardware_concurrency\": "
+       << ", \"seed\": " << args.seed << "},\n  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n  \"deterministic\": "
        << (deterministic ? "true" : "false") << ",\n  \"runs\": [\n";
   for (size_t i = 0; i < samples.size(); ++i) {

@@ -25,6 +25,11 @@ struct BfsProgram {
   uint64_t pull_divisor = 20;
 
   CombineKind combine_kind() const { return CombineKind::kVote; }
+  // min over levels is associative/commutative and Apply is a pure min-fold:
+  // pre-combining a destination's records is exact (bit-identical values).
+  CombineCapability combine_capability() const {
+    return CombineCapability::kAssociativeOnly;
+  }
   Value InitValue(VertexId v) const { return v == source ? 0 : kInfinity; }
   std::vector<VertexId> InitialFrontier() const { return {source}; }
 

@@ -26,6 +26,13 @@ struct BpProgram {
   double max_weight = 64.0;  // generator's weight ceiling, for normalization
 
   CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  // Message sum: associative up to FP rounding; Apply replaces the belief
+  // with prior + combined, so it NEEDS the full combined sum — push mode is
+  // only meaningful pre-combined (the natural direction is pull, where the
+  // gather pre-combines by construction).
+  CombineCapability combine_capability() const {
+    return CombineCapability::kAssociativeOnly;
+  }
 
   // Deterministic per-vertex prior in (0, 1): the event likelihoods of the
   // Bayesian network the paper models.

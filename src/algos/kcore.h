@@ -43,6 +43,14 @@ struct KCoreProgram {
   uint64_t push_divisor = 50;
 
   CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  // Combine is an associative sum, but Apply's freeze ("stop further
+  // subtracting ... once [the degree] goes below k") fires MID-STREAM: the
+  // final frozen degree depends on where in the record sequence the
+  // threshold was crossed, so folding all removals into one subtraction
+  // would change it. Per-record drain required.
+  CombineCapability combine_capability() const {
+    return CombineCapability::kOrderSensitive;
+  }
 
   // Initially-underfull vertices start removed. They are seeded into the
   // initial frontier directly (prev == curr, so the ballot filter will NOT

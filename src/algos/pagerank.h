@@ -38,6 +38,13 @@ struct PageRankProgram {
   uint64_t push_divisor = 5;
 
   CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  // Residual sum: associative up to FP rounding, and Apply folds the
+  // combined residual with no per-record control flow. Pre-combined values
+  // differ from per-record values only in rounding (same fixpoint within
+  // epsilon) and stay bit-identical across host_threads.
+  CombineCapability combine_capability() const {
+    return CombineCapability::kAssociativeOnly;
+  }
 
   Value InitValue(VertexId /*v*/) const {
     const double base = (1.0 - damping) / graph->vertex_count();

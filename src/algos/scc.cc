@@ -15,6 +15,10 @@ struct BackwardClosureProgram {
   const std::vector<uint32_t>* assigned = nullptr;
 
   CombineKind combine_kind() const { return CombineKind::kVote; }
+  // max over {0, 1} — associative and a pure fold in Apply.
+  CombineCapability combine_capability() const {
+    return CombineCapability::kAssociativeOnly;
+  }
   Value InitValue(VertexId v) const {
     const bool is_root =
         (*assigned)[v] == kInfinity && (*colors)[v] == v;

@@ -41,6 +41,13 @@ struct ColorPropagateProgram {
   uint64_t pull_divisor = 10;
 
   CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  // Max-by-color with a ties-pick-first Combine: associativity holds only
+  // because equal-color contributors happen to carry identical payloads.
+  // Too fragile a property to promise the pre-combining drain — declared
+  // order-sensitive (SCC is not on the pre-combine path anyway).
+  CombineCapability combine_capability() const {
+    return CombineCapability::kOrderSensitive;
+  }
   Value InitValue(VertexId v) const {
     return SccValue{v, (*assigned)[v]};
   }

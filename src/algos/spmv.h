@@ -28,6 +28,12 @@ struct SpmvProgram {
   const std::vector<double>* input = nullptr;  // x; size = vertex_count
 
   CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  // Dot-product partial sums: associative up to FP rounding; Apply replaces
+  // y with the combined sum, so like BP it requires the full fold (pull
+  // gathers provide it naturally; push only makes sense pre-combined).
+  CombineCapability combine_capability() const {
+    return CombineCapability::kAssociativeOnly;
+  }
   Value InitValue(VertexId v) const { return Value{(*input)[v], 0.0}; }
   std::vector<VertexId> InitialFrontier() const {
     std::vector<VertexId> all(graph->vertex_count());

@@ -34,6 +34,14 @@ struct SsspProgram {
   uint32_t delta = 32;
 
   CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  // Combine IS an associative min, but Apply is not a pure fold: every
+  // improving-but-out-of-bucket RECORD parks into the pending list, whose
+  // order feeds RefillFrontier. Pre-combining would collapse those parks to
+  // one per destination, changing the released-frontier order — so the
+  // program keeps the per-record drain.
+  CombineCapability combine_capability() const {
+    return CombineCapability::kOrderSensitive;
+  }
   Value InitValue(VertexId v) const { return v == source ? 0 : kInfinity; }
 
   std::vector<VertexId> InitialFrontier() const {

@@ -24,6 +24,11 @@ struct WccProgram {
   uint64_t pull_divisor = 8;
 
   CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  // min over labels: associative, commutative, Apply a pure min-fold —
+  // pre-combining is exact.
+  CombineCapability combine_capability() const {
+    return CombineCapability::kAssociativeOnly;
+  }
   Value InitValue(VertexId v) const { return v; }
   std::vector<VertexId> InitialFrontier() const {
     std::vector<VertexId> all(graph->vertex_count());

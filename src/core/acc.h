@@ -47,6 +47,37 @@ enum class Direction : uint8_t { kPush, kPull };
 // terminate early at the first contributing neighbor (BFS).
 enum class CombineKind : uint8_t { kVote, kAggregation };
 
+// What the engine may legally do with a destination's push records before
+// Apply sees them. The ACC abstraction exists so the runtime can exploit
+// algebraic structure: when a program declares kAssociativeOnly, the push
+// replay may FOLD all of a destination's candidates with Combine (in serial
+// record order) and issue exactly ONE Apply per touched destination — the
+// paper's combine-before-apply scheme, selected by
+// EngineOptions::pre_combine_replay and accounted under the
+// StatsContract::kPerDestination contract (simt/cost_model.h).
+//
+// kAssociativeOnly is a PROMISE the program makes, enforced by randomized
+// law checks in tests/algos/acc_laws_test.cc:
+//   * Combine is associative and commutative (exactly for integer values,
+//     up to rounding for floating-point sums), with CombineIdentity neutral;
+//   * Apply is a pure function of (v, combined, old) with no per-record
+//     control flow or side effects — it treats `combined` as ONE folded
+//     update and never needs to observe the records individually.
+// Note the promise does NOT say folded and per-record Apply sequences give
+// equal values: that stronger property holds for the idempotent min-folds
+// (BFS, WCC — tested as apply-fold equivalence) but NOT for the
+// replace-style programs (BP, SpMV overwrite their output with the combined
+// sum, so only a gather or a PRE-COMBINED push computes them; their
+// per-record push is a deterministic but degenerate last-record-wins).
+// Programs whose Apply observes EACH record individually must declare
+// kOrderSensitive and keep the per-record drain:
+//   * SSSP parks each improving-but-out-of-bucket record into the pending
+//     list (the list's order feeds RefillFrontier);
+//   * k-Core freezes mid-stream — "stop further subtracting the degree ...
+//     once [it] goes below k" (Section 7.1) makes the final degree depend on
+//     WHERE in the record stream the removal threshold was crossed.
+enum class CombineCapability : uint8_t { kOrderSensitive, kAssociativeOnly };
+
 // Per-iteration facts handed to the program's policy hooks.
 struct IterationInfo {
   uint32_t iteration = 0;
@@ -94,6 +125,7 @@ concept AccProgram = requires(const P p, typename P::Value v, VertexId id,
                               Weight w, IterationInfo info, Direction dir) {
   typename P::Value;
   { p.combine_kind() } -> std::same_as<CombineKind>;
+  { p.combine_capability() } -> std::same_as<CombineCapability>;
   { p.InitValue(id) } -> std::same_as<typename P::Value>;
   { p.InitialFrontier() } -> std::same_as<std::vector<VertexId>>;
   { p.Active(v, v) } -> std::same_as<bool>;

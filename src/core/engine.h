@@ -61,17 +61,31 @@ inline double EffectiveOccupancy(double occupancy) {
 struct PushReplayIterationSplit {
   uint32_t iteration = 0;
   uint64_t records = 0;
+  // Applies the drain issued: == records under the per-record drain, == the
+  // touched-destination count under the pre-combined drain.
+  uint64_t applies = 0;
   double collect_ms = 0.0;
   double replay_ms = 0.0;
-  bool partitioned = false;  // owner-computes drain (vs the serial fallback)
+  bool partitioned = false;    // owner-computes drain (vs the serial fallback)
+  bool pre_combined = false;   // associative fold drain (one Apply per dst)
 };
 
 struct PushReplayProfile {
   uint32_t ranges = 0;  // replay ranges armed for this run (1 = serial only)
   uint64_t partitioned_replays = 0;
   uint64_t serial_replays = 0;
+  // Pre-combined drains (serial or partitioned) and their record/apply
+  // totals; fold_records / fold_applies is the fold ratio — how many
+  // candidates Combine folded away per issued Apply.
+  uint64_t precombined_replays = 0;
+  uint64_t fold_records = 0;
+  uint64_t fold_applies = 0;
   double collect_ms = 0.0;  // summed over push iterations
   double replay_ms = 0.0;
+  // Pre-combined drain split: worker busy time folding candidates vs
+  // applying them (summed over workers; consumes are counted with apply).
+  double fold_ms = 0.0;
+  double apply_ms = 0.0;
   std::vector<double> range_ms;  // per-range drain busy time, summed
   std::vector<PushReplayIterationSplit> iterations;
 };
@@ -111,6 +125,14 @@ class Engine {
     }
 
     const auto n = static_cast<VertexId>(graph_.vertex_count());
+    // Associative pre-combining (acc.h CombineCapability): armed per run
+    // from the option AND the program's declared capability — never from
+    // host_threads, so the contract below is thread-count independent.
+    pre_combine_ = options_.pre_combine_replay &&
+                   program.combine_capability() ==
+                       CombineCapability::kAssociativeOnly;
+    result.stats.contract = pre_combine_ ? StatsContract::kPerDestination
+                                         : StatsContract::kPerRecord;
     VertexMeta<Value> meta = MakeMetadata(program);
     std::vector<VertexId> frontier = program.InitialFrontier();
     JitController jit(options_.filter, options_.sim_worker_threads,
@@ -131,6 +153,16 @@ class Engine {
       touch_stamp_.clear();
       ParallelFill(touch_stamp_, n, init_pool, host_threads_, 8192,
                    [](size_t) { return 0u; });
+    }
+    if (pre_combine_) {
+      // Per-vertex fold accumulators for the pre-combined drain. The stamp
+      // guards staleness, so fold_acc_ needs no initialization.
+      fold_stamp_.clear();
+      ParallelFill(fold_stamp_, n, init_pool, host_threads_, 8192,
+                   [](size_t) { return 0u; });
+      if (fold_acc_.size() < n) {
+        fold_acc_.resize(n);
+      }
     }
     SetupReplayPartition();
 
@@ -196,8 +228,10 @@ class Engine {
       if (program.Converged(info)) {
         break;
       }
-      const Direction dir =
-          options_.force_push ? Direction::kPush : program.ChooseDirection(info);
+      const Direction dir = options_.force_push ? Direction::kPush
+                            : options_.force_pull
+                                ? Direction::kPull
+                                : program.ChooseDirection(info);
       stamp_ = iter + 1;
 
       CostCounters it_cost;
@@ -474,6 +508,15 @@ class Engine {
   //   Either way, every simulated stat, touch stamp and output value is
   //   bit-identical for any host_threads.
   //
+  //   PRE-COMBINED VARIANTS (StatsContract::kPerDestination): when the
+  //   program declares CombineCapability::kAssociativeOnly and
+  //   EngineOptions::pre_combine_replay is set, both drains above are
+  //   replaced by fold-then-apply counterparts that issue exactly one Apply
+  //   per touched destination (see the comment block above
+  //   DrainSerialPreCombined). Stats remain bit-identical for any
+  //   host_threads — under the per-destination contract, which maps to the
+  //   per-record one as documented in bench/README.md.
+  //
   // Semantics: push iterations are BSP (Jacobi-style), like pull and like
   // the real double-buffered kernels — a candidate computed this phase never
   // observes a value written this phase; same-phase arrivals land in curr
@@ -505,16 +548,32 @@ class Engine {
                 "Value and ReplayApplyEffect(const ApplyEffect&) must be "
                 "callable on a const Program)");
 
+  // One destination first touched by the pre-combined fold pass: where its
+  // first record sits in the global serial order (the position its single
+  // Apply — and any activation it produces — is sequenced at), and the
+  // simulated worker lane of that first record (owner of the filter bin the
+  // activation lands in, mirroring the per-record drain's convention).
+  struct FoldTouch {
+    uint64_t pos;
+    VertexId dst;
+    uint32_t worker;
+  };
+
   // Per-range scratch for the partitioned push replay, reused across
   // iterations. Holds the range worker's counters plus its position-tagged
   // deferred streams; `effect_pos[i]` is the position of `effects[i]` (kept
   // parallel rather than wrapped so the no-effect programs pay nothing).
+  // `touched` is the pre-combined drain's first-touch list (empty for the
+  // per-record drains).
   struct ReplayScratch {
     CostCounters cost;
     std::vector<DeferredActivation> activations;
     std::vector<ApplyEffect> effects;
     std::vector<uint64_t> effect_pos;
+    std::vector<FoldTouch> touched;
     double wall_ms = 0.0;
+    double fold_ms = 0.0;
+    double apply_ms = 0.0;
   };
 
   static double NowMs() {
@@ -542,18 +601,24 @@ class Engine {
       num_buffers += CollectPush(program, meta, view, frontier_sorted, num_buffers);
     }
     const double t_replay = profile ? NowMs() : 0.0;
-    const auto [edges, partitioned] =
+    const ReplayOutcome outcome =
         ReplayPush(program, meta, num_buffers, jit, cost);
     if (profile) {
       const double t_done = NowMs();
       profile_.collect_ms += t_replay - t_collect;
       profile_.replay_ms += t_done - t_replay;
-      (partitioned ? profile_.partitioned_replays : profile_.serial_replays) += 1;
+      (outcome.partitioned ? profile_.partitioned_replays
+                           : profile_.serial_replays) += 1;
+      if (pre_combine_) {
+        profile_.precombined_replays += 1;
+        profile_.fold_records += outcome.edges;
+        profile_.fold_applies += outcome.applies;
+      }
       profile_.iterations.push_back(PushReplayIterationSplit{
-          stamp_ - 1, edges, t_replay - t_collect, t_done - t_replay,
-          partitioned});
+          stamp_ - 1, outcome.edges, outcome.applies, t_replay - t_collect,
+          t_done - t_replay, outcome.partitioned, pre_combine_});
     }
-    return edges;
+    return outcome.edges;
   }
 
   // Collect phase for one list: chunk it, fill push_buffers_[base ..
@@ -658,28 +723,47 @@ class Engine {
     buf.FinishCollect();
   }
 
-  // Replay dispatcher: merges the collect-side counters in chunk order, then
-  // selects the serial or the owner-computes partitioned drain (identical
-  // observable behaviour; see the phase comment above ProcessPush). Returns
-  // {edges drained, whether the partitioned drain ran}.
-  std::pair<uint64_t, bool> ReplayPush(const Program& program,
-                                       VertexMeta<Value>& meta,
-                                       uint32_t num_buffers, JitController& jit,
-                                       CostCounters& cost) {
+  struct ReplayOutcome {
     uint64_t edges = 0;
+    uint64_t applies = 0;  // == edges for per-record drains
+    bool partitioned = false;
+  };
+
+  // Replay dispatcher: merges the collect-side counters in chunk order, then
+  // selects among the four drains — {per-record, pre-combined} × {serial,
+  // partitioned}. The per-record pair is observably identical for any
+  // host_threads (StatsContract::kPerRecord); the pre-combined pair is
+  // likewise identical to EACH OTHER for any host_threads but issues one
+  // Apply per touched destination (StatsContract::kPerDestination) — see the
+  // phase comment above ProcessPush.
+  ReplayOutcome ReplayPush(const Program& program, VertexMeta<Value>& meta,
+                           uint32_t num_buffers, JitController& jit,
+                           CostCounters& cost) {
+    ReplayOutcome out;
     for (uint32_t b = 0; b < num_buffers; ++b) {
       cost += push_buffers_[b].cost;
-      edges += push_buffers_[b].edges;
+      out.edges += push_buffers_[b].edges;
     }
     // Collect bucketed iff the pre-collect decision armed it (the frontier
     // out-edge sum it keyed on IS `edges`: one record per edge).
-    const bool partitioned = collect_bucketed_;
-    if (partitioned) {
-      DrainPartitioned(program, meta, num_buffers, jit, cost);
+    out.partitioned = collect_bucketed_;
+    if (pre_combine_) {
+      if (out.partitioned) {
+        out.applies =
+            DrainPartitionedPreCombined(program, meta, num_buffers, jit, cost);
+      } else {
+        out.applies =
+            DrainSerialPreCombined(program, meta, num_buffers, jit, cost);
+      }
     } else {
-      DrainSerial(program, meta, num_buffers, jit, cost);
+      out.applies = out.edges;
+      if (out.partitioned) {
+        DrainPartitioned(program, meta, num_buffers, jit, cost);
+      } else {
+        DrainSerial(program, meta, num_buffers, jit, cost);
+      }
     }
-    return {edges, partitioned};
+    return out;
   }
 
   // Serial ordered drain (the host_threads == 1 path, also chosen for small
@@ -732,10 +816,7 @@ class Engine {
         pool_, host_threads_, replay_ranges_,
         [&](uint32_t p) {
           ReplayScratch& s = replay_scratch_[p];
-          s.cost = CostCounters{};
-          s.activations.clear();
-          s.effects.clear();
-          s.effect_pos.clear();
+          ResetScratch(s);
           const double t0 = profile ? NowMs() : 0.0;
           DrainRange(program, meta, num_buffers, p, s);
           if (profile) {
@@ -787,29 +868,227 @@ class Engine {
             Consume(program, meta, spans[si].src, Direction::kPush);
             ++si;
           }
-          ReplayRecord(program, meta, records[idx], b, idx, s);
+          ReplayRecord(program, meta, records[idx], Pos(b, idx), s);
         }
         for (; si < spans.size(); ++si) {
           Consume(program, meta, spans[si].src, Direction::kPush);
         }
       } else {
         for (const uint32_t idx : owned) {
-          ReplayRecord(program, meta, records[idx], b, idx, s);
+          ReplayRecord(program, meta, records[idx], Pos(b, idx), s);
         }
       }
     }
   }
 
+  // --- pre-combined drains (StatsContract::kPerDestination) ---
+  //
+  // For kAssociativeOnly programs the replay may fold a destination's
+  // records with Combine before Apply sees them. Both pre-combined drains
+  // run the same three per-worker passes, so they are bit-identical to each
+  // other for any host_threads:
+  //
+  //   FOLD: walk the worker's records in ascending (chunk, record) order,
+  //   left-folding each destination's candidates into fold_acc_[dst]
+  //   (fold_stamp_ guards staleness; the fold order for one destination is
+  //   exactly the serial record order restricted to it, identical however
+  //   the destinations are distributed over workers). First touch files a
+  //   FoldTouch carrying the record's global position and worker lane.
+  //
+  //   APPLY: walk the touched list in first-touch order (= ascending first-
+  //   record position) and run the per-record statement sequence ONCE per
+  //   destination with the folded candidate — exactly one Apply, one
+  //   touch-stamp/atomic charge and at most one value write + activation per
+  //   touched destination per push iteration. Activations carry the first-
+  //   record position, so the deferred merge (partitioned) and the in-order
+  //   replay (serial) sequence the shared filter bins identically.
+  //
+  //   CONSUME: run ConsumeActivity for the worker's sources AFTER its
+  //   applies. Per vertex the order is always fold-apply-consume (one owner
+  //   runs all three), and operations on distinct vertices touch disjoint
+  //   state, so cross-worker interleaving is unobservable. (The per-record
+  //   drain instead interleaves consumes at exact span positions — that
+  //   distinction is part of the contract split: per-destination semantics
+  //   hand EVERY same-phase arrival to the consume, which for residual
+  //   programs conserves activity just like the serial interleaving, only
+  //   with different FP rounding.)
+  //
+  // The pull path needs none of this: a pull gather already combines all
+  // contributors before its single Apply, i.e. pull iterations are
+  // pre-combined by construction under either contract.
+
+  // FOLD pass step shared by both pre-combined drains.
+  void FoldRecord(const Program& program, const PushRecord<Value>& rec,
+                  uint64_t pos, std::vector<FoldTouch>& touched) {
+    const VertexId u = rec.dst;
+    if (fold_stamp_[u] != stamp_) {
+      fold_stamp_[u] = stamp_;
+      fold_acc_[u] = rec.cand;
+      touched.push_back(FoldTouch{pos, u, rec.worker});
+    } else {
+      fold_acc_[u] = program.Combine(fold_acc_[u], rec.cand);
+    }
+  }
+
+  // Serial pre-combined drain (host_threads == 1 or small iterations): fold
+  // over every record of every buffer, apply per destination in first-touch
+  // order, then consume sources in span order. Deferred streams land in
+  // scratch already position-sorted and are replayed immediately — the same
+  // sequence the partitioned drain's merge produces. Returns the apply count
+  // (= touched destinations).
+  uint64_t DrainSerialPreCombined(const Program& program,
+                                  VertexMeta<Value>& meta, uint32_t num_buffers,
+                                  JitController& jit, CostCounters& cost) {
+    if (replay_scratch_.empty()) {
+      replay_scratch_.resize(1);
+    }
+    ReplayScratch& s = replay_scratch_[0];
+    ResetScratch(s);
+    const bool profile = options_.profile_push_replay;
+    const double t0 = profile ? NowMs() : 0.0;
+    for (uint32_t b = 0; b < num_buffers; ++b) {
+      const auto& records = push_buffers_[b].records();
+      for (uint32_t idx = 0; idx < records.size(); ++idx) {
+        FoldRecord(program, records[idx], Pos(b, idx), s.touched);
+      }
+    }
+    const double t1 = profile ? NowMs() : 0.0;
+    for (const FoldTouch& t : s.touched) {
+      ReplayRecord(program, meta,
+                   PushRecord<Value>{t.dst, t.worker, fold_acc_[t.dst]}, t.pos,
+                   s);
+    }
+    if constexpr (kHasConsume) {
+      for (uint32_t b = 0; b < num_buffers; ++b) {
+        for (const PushSourceSpan& span : push_buffers_[b].sources()) {
+          Consume(program, meta, span.src, Direction::kPush);
+        }
+      }
+    }
+    cost += s.cost;
+    for (const DeferredActivation& a : s.activations) {
+      jit.ReplayActivation(a, cost);
+    }
+    if constexpr (kHasDeferredApply) {
+      for (const ApplyEffect& e : s.effects) {
+        program.ReplayApplyEffect(e);
+      }
+    }
+    if (profile) {
+      profile_.fold_ms += t1 - t0;
+      profile_.apply_ms += NowMs() - t1;
+    }
+    return s.touched.size();
+  }
+
+  // Partitioned pre-combined drain: the owner-computes machinery of
+  // DrainPartitioned with DrainRangePreCombined as the per-range body.
+  // Returns the apply count summed over ranges (each destination counted by
+  // its single owner).
+  uint64_t DrainPartitionedPreCombined(const Program& program,
+                                       VertexMeta<Value>& meta,
+                                       uint32_t num_buffers, JitController& jit,
+                                       CostCounters& cost) {
+    const bool profile = options_.profile_push_replay;
+    uint64_t applies = 0;
+    PartitionedDrain(
+        pool_, host_threads_, replay_ranges_,
+        [&](uint32_t p) {
+          ReplayScratch& s = replay_scratch_[p];
+          ResetScratch(s);
+          const double t0 = profile ? NowMs() : 0.0;
+          DrainRangePreCombined(program, meta, num_buffers, p, s);
+          if (profile) {
+            s.wall_ms = NowMs() - t0;
+          }
+        },
+        [&](uint32_t p) {
+          cost += replay_scratch_[p].cost;
+          applies += replay_scratch_[p].touched.size();
+          if (profile) {
+            profile_.range_ms[p] += replay_scratch_[p].wall_ms;
+            profile_.fold_ms += replay_scratch_[p].fold_ms;
+            profile_.apply_ms += replay_scratch_[p].apply_ms;
+          }
+        });
+    MergeByPosition(
+        [&](uint32_t p) { return replay_scratch_[p].activations.size(); },
+        [&](uint32_t p, size_t h) { return replay_scratch_[p].activations[h].pos; },
+        [&](uint32_t p, size_t h) {
+          jit.ReplayActivation(replay_scratch_[p].activations[h], cost);
+        });
+    if constexpr (kHasDeferredApply) {
+      MergeByPosition(
+          [&](uint32_t p) { return replay_scratch_[p].effect_pos.size(); },
+          [&](uint32_t p, size_t h) { return replay_scratch_[p].effect_pos[h]; },
+          [&](uint32_t p, size_t h) {
+            program.ReplayApplyEffect(replay_scratch_[p].effects[h]);
+          });
+    }
+    return applies;
+  }
+
+  // One range worker's pre-combined drain: fold owned records, apply per
+  // owned destination, consume owned sources (see the pass comment above).
+  void DrainRangePreCombined(const Program& program, VertexMeta<Value>& meta,
+                             uint32_t num_buffers, uint32_t p,
+                             ReplayScratch& s) {
+    const bool profile = options_.profile_push_replay;
+    const double t0 = profile ? NowMs() : 0.0;
+    for (uint32_t b = 0; b < num_buffers; ++b) {
+      const PushBuffer<Value>& buf = push_buffers_[b];
+      const auto& records = buf.records();
+      for (const uint32_t idx : buf.RangeRecords(p)) {
+        FoldRecord(program, records[idx], Pos(b, idx), s.touched);
+      }
+    }
+    if (profile) {
+      s.fold_ms = NowMs() - t0;
+    }
+    for (const FoldTouch& t : s.touched) {
+      ReplayRecord(program, meta,
+                   PushRecord<Value>{t.dst, t.worker, fold_acc_[t.dst]}, t.pos,
+                   s);
+    }
+    if constexpr (kHasConsume) {
+      for (uint32_t b = 0; b < num_buffers; ++b) {
+        for (const PushSpanEvent& span : push_buffers_[b].RangeSpans(p)) {
+          Consume(program, meta, span.src, Direction::kPush);
+        }
+      }
+    }
+    if (profile) {
+      s.apply_ms = NowMs() - t0 - s.fold_ms;
+    }
+  }
+
+  static void ResetScratch(ReplayScratch& s) {
+    s.cost = CostCounters{};
+    s.activations.clear();
+    s.effects.clear();
+    s.effect_pos.clear();
+    s.touched.clear();
+    s.fold_ms = 0.0;
+    s.apply_ms = 0.0;
+  }
+
+  // Global serial position of record `index` in chunk buffer `buffer` — the
+  // merge key every deferred stream is sequenced by.
+  static uint64_t Pos(uint32_t buffer, uint32_t index) {
+    return (static_cast<uint64_t>(buffer) << 32) | index;
+  }
+
   // The per-record statement sequence of DrainSerial, with the two shared
   // side channels deferred: the online-filter record and any Apply side
   // effect go to the per-range scratch, tagged with the record's global
-  // position for the serial-order merge. Everything else it touches is
-  // owned by this worker's range.
+  // position `pos` for the serial-order merge. Everything else it touches is
+  // owned by this worker's range. The pre-combined drains reuse it with a
+  // synthesized record carrying the folded candidate and the destination's
+  // first-record position.
   void ReplayRecord(const Program& program, VertexMeta<Value>& meta,
-                    const PushRecord<Value>& rec, uint32_t buffer,
-                    uint32_t index, ReplayScratch& s) {
+                    const PushRecord<Value>& rec, uint64_t pos,
+                    ReplayScratch& s) {
     const VertexId u = rec.dst;
-    const uint64_t pos = (static_cast<uint64_t>(buffer) << 32) | index;
     Value applied;
     if constexpr (kHasDeferredApply) {
       const size_t before = s.effects.size();
@@ -1119,6 +1398,14 @@ class Engine {
   // Per-iteration decision made in ProcessPush before the collect: whether
   // this iteration's records were bucketed (and must drain partitioned).
   bool collect_bucketed_ = false;
+  // Per-run decision (Run): associative pre-combining armed — option on AND
+  // the program declared CombineCapability::kAssociativeOnly.
+  bool pre_combine_ = false;
+  // Pre-combined drain state: per-vertex fold accumulators guarded by an
+  // iteration stamp (a vertex's fold is owned by exactly one worker, so no
+  // sharing). Allocated only when pre_combine_ is armed.
+  NumaVector<uint32_t> fold_stamp_;
+  std::vector<Value> fold_acc_;
   NumaVector<uint32_t> range_of_vertex_;
   std::vector<ReplayScratch> replay_scratch_;
   std::vector<size_t> merge_heads_;

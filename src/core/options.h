@@ -73,6 +73,18 @@ struct EngineOptions {
   // to force the partitioned path on tiny graphs.
   size_t parallel_replay_min_records = 2048;
 
+  // Associative pre-combining replay: for programs declaring
+  // CombineCapability::kAssociativeOnly (core/acc.h), fold each destination's
+  // buffered records with Combine and issue exactly ONE Apply per touched
+  // destination per push iteration — the drain shrinks from O(records) to
+  // O(touched destinations). NOT a pure wall-clock knob: per-record simulated
+  // stats legitimately change, so the run is accounted under
+  // StatsContract::kPerDestination (values and stats remain bit-identical
+  // across host_threads under that contract; see bench/README.md). Off by
+  // default to preserve the per-record fingerprints. Order-sensitive programs
+  // (SSSP, k-Core) ignore the flag and keep the per-record drain.
+  bool pre_combine_replay = false;
+
   // Initialize the metadata and per-vertex stamp arrays through ParallelFor
   // so their pages are first touched by the threads that will scan them
   // (NUMA placement). Identical values either way.
@@ -107,6 +119,12 @@ struct EngineOptions {
   // Force push-mode processing every iteration (Gunrock's advance is
   // push-based).
   bool force_push = false;
+  // Force pull-mode processing every iteration (every vertex gathers from
+  // its in-neighbors regardless of the program's direction heuristic).
+  // Mutually exclusive with force_push; force_push wins if both are set.
+  // Used by the differential determinism harness to pin each direction's
+  // code path independently of the frontier trajectory.
+  bool force_pull = false;
   // Degree-classify the frontier into Thread/Warp/CTA lists (Figure 7,
   // step II). When off, one thread owns one frontier vertex regardless of
   // degree and the warp serializes on its largest vertex — the workload

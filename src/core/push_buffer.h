@@ -32,6 +32,14 @@
 //      record streams by their (chunk, record) position, i.e. the global
 //      serial order.
 //
+// Both replay flavors exist in a PRE-COMBINED form as well (engine.h,
+// StatsContract::kPerDestination): for programs whose Combine is declared
+// kAssociativeOnly, the drain left-folds each destination's records — in the
+// same ascending (chunk, record) order the buffers store them in — and
+// issues one Apply per touched destination instead of one per record. The
+// buffers themselves are oblivious: the fold is a different walk over the
+// same records()/RangeRecords() sequences.
+//
 // To give replay workers their records without scanning foreign ones, the
 // collect pass optionally bucketizes: BeginCollect(P, track_spans) makes
 // every Append file the record's index under its destination's range, and —

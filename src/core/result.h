@@ -29,6 +29,10 @@ struct RunStats {
   bool converged = true;     // false if max_iterations was hit
   uint64_t total_active = 0;
   uint64_t total_edges_processed = 0;
+  // Accounting contract the counters were recorded under (see cost_model.h):
+  // kPerDestination iff the run pre-combined its push replay. Depends only on
+  // options + program capability, never on host_threads.
+  StatsContract contract = StatsContract::kPerRecord;
   CostCounters counters;
   SimTime time;
   // The scale-invariant part of `time`: kernel-launch, barrier and

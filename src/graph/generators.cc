@@ -164,6 +164,23 @@ EdgeList GenerateBinaryTree(uint32_t levels) {
   return list;
 }
 
+EdgeList GenerateFunnel(uint32_t sources, uint32_t hubs, bool park_weights) {
+  EdgeList list;
+  const VertexId first_spoke = 1 + hubs;
+  for (uint32_t i = 0; i < sources; ++i) {
+    list.Add(0, first_spoke + i, 1 + i % 7);
+    for (uint32_t h = 0; h < hubs; ++h) {
+      const Weight w =
+          park_weights ? 20 + (i * 13 + h * 5) % 40 : 1 + (i + h) % 5;
+      list.Add(first_spoke + i, 1 + h, w);
+    }
+  }
+  for (uint32_t h = 0; h < hubs; ++h) {
+    list.Add(1 + h, first_spoke + sources, 2);  // a tail so hubs push onward
+  }
+  return list;
+}
+
 EdgeList PaperFigure1Graph() {
   // Vertices a..i are ids 0..8. The weights are chosen so that the SSSP
   // fixpoint matches the paper's Figure 1(f) distance array:

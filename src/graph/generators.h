@@ -57,6 +57,16 @@ EdgeList GenerateStar(VertexId leaf_count);                    // hub = 0
 EdgeList GenerateComplete(VertexId vertex_count);              // K_n
 EdgeList GenerateBinaryTree(uint32_t levels);                  // rooted at 0
 
+// Funnel: root 0 -> `sources` spokes, every spoke -> each of `hubs` hub
+// vertices (ids 1..hubs), every hub -> one shared tail. One push iteration
+// converges sources*hubs records on `hubs` destinations — the worst case
+// for destination partitioning and the showcase for pre-combining (the
+// contention tests and push_replay's fold-ratio gate share this shape).
+// `park_weights` makes the spoke->hub weights straddle SSSP's default
+// delta bucket so delta-stepping parks from inside the replay.
+EdgeList GenerateFunnel(uint32_t sources, uint32_t hubs,
+                        bool park_weights = false);
+
 // The 9-vertex, 10-edge weighted example of the paper's Figure 1 (vertices
 // a..i mapped to ids 0..8). Tests replay the SSSP walkthrough against it.
 EdgeList PaperFigure1Graph();

@@ -16,6 +16,33 @@
 
 namespace simdx {
 
+// Which accounting contract the counters below were recorded under. The
+// engine's push-replay drain exists in two observably different flavors, and
+// a fingerprint of one is NOT comparable to a fingerprint of the other:
+//
+//   kPerRecord      — every push record charges its own Apply, value write,
+//                     atomic op and contention stamp. The original contract:
+//                     every counter and every value byte-identical across
+//                     host_threads AND to the PR 2/PR 3 serial drain.
+//   kPerDestination — associative programs pre-combine a destination's
+//                     records (core/acc.h CombineCapability) and charge ONE
+//                     Apply/write/atomic per touched destination per push
+//                     iteration. Counters and values are still byte-identical
+//                     across host_threads, but differ from kPerRecord by a
+//                     documented mapping (bench/README.md): scattered value
+//                     writes and atomic_ops shrink from records to touched
+//                     destinations, and atomic_conflicts collapse to zero —
+//                     pre-aggregation removes same-destination collisions,
+//                     which is exactly the paper's Figure 5 argument.
+//
+// Carried in RunStats next to the counters and folded into the bench
+// fingerprints so the determinism gates can never compare across contracts.
+enum class StatsContract : uint8_t { kPerRecord, kPerDestination };
+
+inline const char* ToString(StatsContract c) {
+  return c == StatsContract::kPerRecord ? "per-record" : "per-destination";
+}
+
 struct CostCounters {
   // 32-bit words moved through coalesced accesses (sequential scans of CSR
   // runs, metadata arrays, worklists). 32 words = one transaction.

@@ -191,6 +191,84 @@ TEST(EngineTest, MaxIterationsGuardReportsNotConverged) {
   EXPECT_EQ(result.stats.iterations, 3u);
 }
 
+// BfsProgram with per-vertex push-Apply counters. Thread-safe under the
+// partitioned drains: concurrent workers apply to DISTINCT vertices, so the
+// per-vertex slots never race.
+struct CountingBfsProgram : BfsProgram {
+  std::vector<uint32_t>* push_applies = nullptr;
+
+  Value Apply(VertexId v, const Value& combined, const Value& old,
+              Direction dir) const {
+    if (dir == Direction::kPush) {
+      (*push_applies)[v] += 1;
+    }
+    return BfsProgram::Apply(v, combined, old, dir);
+  }
+};
+static_assert(AccProgram<CountingBfsProgram>);
+
+// The kPerDestination contract's headline guarantee, asserted directly: with
+// pre_combine_replay on, the replay issues EXACTLY ONE Apply per touched
+// destination per push iteration, while the per-record drain issues one per
+// record. A funnel (every spoke -> every hub) makes the difference extreme.
+TEST(PreCombinedApplyCountTest, ExactlyOneApplyPerTouchedDestination) {
+  const uint32_t kSources = 500;
+  const uint32_t kHubs = 3;
+  const Graph g =
+      Graph::FromEdges(GenerateFunnel(kSources, kHubs), /*directed=*/true);
+
+  const auto run = [&](bool pre_combine, uint32_t threads,
+                       std::vector<uint32_t>& counts) {
+    counts.assign(g.vertex_count(), 0);
+    EngineOptions o = DefaultOptions();
+    o.host_threads = threads;
+    o.force_push = true;
+    o.parallel_replay_min_records = 0;
+    o.pre_combine_replay = pre_combine;
+    CountingBfsProgram program;
+    program.source = 0;
+    program.push_applies = &counts;
+    Engine<CountingBfsProgram> engine(g, MakeK40(), o);
+    return engine.Run(program);
+  };
+
+  std::vector<uint32_t> per_record;
+  const auto r_record = run(false, 3, per_record);
+  ASSERT_TRUE(r_record.stats.ok());
+  // Per-record drain: each hub receives one Apply per in-record.
+  for (uint32_t h = 0; h < kHubs; ++h) {
+    EXPECT_EQ(per_record[1 + h], kSources) << "hub " << h;
+  }
+
+  for (uint32_t threads : {1u, 2u, 3u, 8u}) {
+    std::vector<uint32_t> pre_combined;
+    const auto r_pre = run(true, threads, pre_combined);
+    ASSERT_TRUE(r_pre.stats.ok());
+    EXPECT_EQ(r_pre.stats.contract, StatsContract::kPerDestination);
+    // BFS touches each vertex's value in exactly one push iteration here, so
+    // one-Apply-per-touched-destination-per-iteration means exactly one
+    // Apply per reached vertex (the source receives no records).
+    for (VertexId v = 1; v < g.vertex_count(); ++v) {
+      EXPECT_EQ(pre_combined[v], 1u) << "vertex " << v << " t=" << threads;
+    }
+    // And the fold changes no BFS value: min over a fold == min per record.
+    EXPECT_EQ(r_pre.values, r_record.values);
+  }
+}
+
+TEST(EngineTest, ForcePullMatchesOracleAndPinsDirection) {
+  const Graph g = Graph::FromEdges(GenerateRmat(9, 8, 5), false);
+  EngineOptions o = DefaultOptions();
+  o.force_pull = true;
+  BfsProgram program;
+  const auto result = Engine<BfsProgram>(g, MakeK40(), o).Run(program);
+  ASSERT_TRUE(result.stats.ok());
+  EXPECT_EQ(result.values, CpuBfsLevels(g, 0));
+  EXPECT_EQ(result.stats.direction_pattern.find('p'), std::string::npos)
+      << "every iteration must gather (pattern: "
+      << result.stats.direction_pattern << ")";
+}
+
 TEST(EffectiveOccupancyTest, SaturatesAtThreshold) {
   EXPECT_DOUBLE_EQ(EffectiveOccupancy(kOccupancySaturation), 1.0);
   EXPECT_DOUBLE_EQ(EffectiveOccupancy(1.0), 1.0);

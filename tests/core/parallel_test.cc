@@ -134,6 +134,9 @@ TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
 template <typename Value>
 void ExpectIdenticalRuns(const RunResult<Value>& a, const RunResult<Value>& b) {
   EXPECT_EQ(a.values, b.values);
+  // Identical runs must have been accounted under the same contract — a
+  // per-record fingerprint never compares equal to a per-destination one.
+  EXPECT_EQ(a.stats.contract, b.stats.contract);
   EXPECT_EQ(a.stats.iterations, b.stats.iterations);
   EXPECT_EQ(a.stats.oom, b.stats.oom);
   EXPECT_EQ(a.stats.failed, b.stats.failed);
@@ -315,28 +318,14 @@ TEST(EnginePushDeterminismTest, UnclassifiedFrontierPathMatches) {
 
 // --- Partitioned push replay (owner-computes drain) ---
 
-// A funnel: root -> `sources` spokes, every spoke -> each of `hubs` hub
-// vertices (ids 1..hubs). One push iteration scatters sources*hubs records
-// converging on `hubs` destinations — the worst case for destination
-// partitioning (nearly all ranges empty, massive per-destination record
-// chains whose apply order must stay serial). `park_weights` makes the
-// spoke->hub weights straddle SSSP's bucket limit so delta-stepping parks
-// from inside the partitioned replay.
+// The shared funnel shape (graph/generators.h GenerateFunnel): root ->
+// `sources` spokes, every spoke -> each of `hubs` hub vertices. One push
+// iteration converges sources*hubs records on `hubs` destinations — the
+// worst case for destination partitioning (nearly all ranges empty, massive
+// per-destination record chains whose apply order must stay serial).
 Graph MakeFunnelGraph(uint32_t sources, uint32_t hubs, bool park_weights) {
-  EdgeList e;
-  const VertexId first_spoke = 1 + hubs;
-  for (uint32_t i = 0; i < sources; ++i) {
-    e.Add(0, first_spoke + i, 1 + i % 7);
-    for (uint32_t h = 0; h < hubs; ++h) {
-      const Weight w =
-          park_weights ? 20 + (i * 13 + h * 5) % 40 : 1 + (i + h) % 5;
-      e.Add(first_spoke + i, 1 + h, w);
-    }
-  }
-  for (uint32_t h = 0; h < hubs; ++h) {
-    e.Add(1 + h, first_spoke + sources, 2);  // a tail so hubs push onward
-  }
-  return Graph::FromEdges(e, /*directed=*/true);
+  return Graph::FromEdges(GenerateFunnel(sources, hubs, park_weights),
+                          /*directed=*/true);
 }
 
 EngineOptions PartitionedPushOptions(uint32_t host_threads) {
@@ -466,6 +455,206 @@ TEST(PartitionedReplayTest, ProfileShowsPartitionedDrainOnRangeWorkers) {
     EXPECT_GE(it.collect_ms, 0.0);
     EXPECT_GE(it.replay_ms, 0.0);
   }
+}
+
+// --- Pre-combined replay (associative fold drain, kPerDestination) ---
+//
+// For kAssociativeOnly programs with pre_combine_replay set, the drain folds
+// each destination's records with Combine and issues one Apply per touched
+// destination. The contract: values, stats and touch sets bit-identical
+// across host_threads (including 1, where the SERIAL pre-combined drain
+// runs) — not to the per-record drain, which stays byte-for-byte untouched.
+
+EngineOptions PreCombineOptions(uint32_t host_threads) {
+  EngineOptions o = PartitionedPushOptions(host_threads);
+  o.pre_combine_replay = true;
+  return o;
+}
+
+template <typename RunFn>
+void SweepPreCombinedThreads(const RunFn& run) {
+  const auto serial = run(PreCombineOptions(1));
+  ASSERT_TRUE(serial.stats.ok());
+  for (uint32_t threads : {2u, 3u, 8u}) {
+    const auto parallel = run(PreCombineOptions(threads));
+    ExpectIdenticalRuns(serial, parallel);
+    EXPECT_TRUE(serial.stats.counters == parallel.stats.counters) << threads;
+  }
+}
+
+TEST(PreCombinedReplayTest, AllRecordsOneDestinationFunnel) {
+  // hubs=1: every record of the big iteration funnels into ONE destination —
+  // a single fold chain spanning many collect chunks, drained by whichever
+  // worker owns that vertex while all others fold nothing.
+  const Graph g = MakeFunnelGraph(2000, 1, /*park_weights=*/false);
+  SweepPreCombinedThreads(
+      [&](const EngineOptions& o) { return RunBfs(g, 0, MakeK40(), o); });
+}
+
+TEST(PreCombinedReplayTest, HighContentionBfsDeterministic) {
+  const Graph g = MakeFunnelGraph(2000, 3, /*park_weights=*/false);
+  SweepPreCombinedThreads(
+      [&](const EngineOptions& o) { return RunBfs(g, 0, MakeK40(), o); });
+}
+
+TEST(PreCombinedReplayTest, WccOnSkewedRmatDeterministic) {
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 8, 47), /*directed=*/false);
+  SweepPreCombinedThreads(
+      [&](const EngineOptions& o) { return RunWcc(g, MakeK40(), o); });
+}
+
+TEST(PreCombinedReplayTest, SpmvForcedPushDeterministicAndMatchesPull) {
+  // SpMV's replace-style Apply needs the full fold: the pre-combined forced
+  // push must be thread-count deterministic AND agree with the natural pull
+  // computation of y = A x (up to record-order reassociation of the sum).
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 8, 59), /*directed=*/false);
+  std::vector<double> x(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    x[v] = 1.0 / (1.0 + v);
+  }
+  SweepPreCombinedThreads(
+      [&](const EngineOptions& o) { return RunSpmv(g, x, MakeK40(), o); });
+  EngineOptions pull;
+  pull.host_threads = 1;
+  const auto expected = RunSpmv(g, x, MakeK40(), pull);
+  const auto pushed = RunSpmv(g, x, MakeK40(), PreCombineOptions(3));
+  ASSERT_EQ(pushed.values.size(), expected.values.size());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_NEAR(pushed.values[v].y, expected.values[v].y, 1e-9) << v;
+  }
+}
+
+TEST(PreCombinedReplayTest, PageRankFoldAndConsumeDeterministic) {
+  // FP residual sums make every fold grouping bit-visible: the funnel's hubs
+  // are sources AND heavily-contended destinations, so this pins the
+  // fold-apply-consume per-vertex order across thread counts.
+  const Graph g = MakeFunnelGraph(800, 4, /*park_weights=*/false);
+  SweepPreCombinedThreads([&](const EngineOptions& o) {
+    return RunPageRank(g, MakeK40(), o, /*epsilon=*/1e-10);
+  });
+}
+
+TEST(PreCombinedReplayTest, PageRankResidualPushConservesMass) {
+  // Same invariant as the per-record drain's mass test: apply-then-consume
+  // hands every same-phase arrival to the consume, so no activity is lost.
+  const Graph g =
+      Graph::FromEdges(GenerateGridRoad(30, 30, 2), /*directed=*/false);
+  const auto run = [&](const EngineOptions& o) {
+    return RunPageRank(g, MakeK40(), o, /*epsilon=*/1e-10);
+  };
+  SweepPreCombinedThreads(run);
+  const auto result = run(PreCombineOptions(3));
+  double sum = 0.0;
+  for (const auto& value : result.values) {
+    sum += value.rank;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PreCombinedReplayTest, SingleRecordDestinationsOnChain) {
+  // A chain gives every destination exactly one record: the fold pass never
+  // calls Combine (first touch only), so pre-combined values must equal the
+  // per-record drain's exactly for an integer program.
+  EdgeList e;
+  for (VertexId v = 0; v < 199; ++v) {
+    e.Add(v, v + 1, 1);
+  }
+  const Graph g = Graph::FromEdges(e, /*directed=*/true);
+  SweepPreCombinedThreads(
+      [&](const EngineOptions& o) { return RunBfs(g, 0, MakeK40(), o); });
+  const auto per_record = RunBfs(g, 0, MakeK40(), PartitionedPushOptions(3));
+  const auto pre_combined = RunBfs(g, 0, MakeK40(), PreCombineOptions(3));
+  EXPECT_EQ(per_record.values, pre_combined.values);
+}
+
+TEST(PreCombinedReplayTest, MoreRangesThanTouchedDestinations) {
+  // 5-vertex chain at 8 threads: P = min(8, 5) ranges, at most one touched
+  // destination per iteration — single-entry touched lists next to empty
+  // ones, and empty RangeRecords buckets in every drain.
+  EdgeList e;
+  for (VertexId v = 0; v < 4; ++v) {
+    e.Add(v, v + 1, 1);
+  }
+  const Graph g = Graph::FromEdges(e, /*directed=*/true);
+  SweepPreCombinedThreads(
+      [&](const EngineOptions& o) { return RunBfs(g, 0, MakeK40(), o); });
+  SweepPreCombinedThreads(
+      [&](const EngineOptions& o) { return RunWcc(g, MakeK40(), o); });
+}
+
+TEST(PreCombinedReplayTest, EmptyPushIterationsViaRefill) {
+  // SSSP is order-sensitive, so pre_combine_replay must be IGNORED: the
+  // whole run (refills, parking, stats) stays on the per-record drain and
+  // under the per-record contract, byte-identical to the flag-off run.
+  const Graph g = MakeFunnelGraph(1500, 3, /*park_weights=*/true);
+  const auto with_flag = RunSssp(g, 0, MakeK40(), PreCombineOptions(3));
+  const auto without = RunSssp(g, 0, MakeK40(), PartitionedPushOptions(3));
+  ExpectIdenticalRuns(without, with_flag);
+  EXPECT_EQ(with_flag.stats.contract, StatsContract::kPerRecord);
+}
+
+TEST(PreCombinedReplayTest, AtomicChargesCollapseToPerDestination) {
+  // Under atomics + pre-combining, each touched destination charges exactly
+  // one atomic per iteration, so same-destination conflicts vanish — the
+  // ACC pre-aggregation argument of Figure 5, now visible in the contract.
+  const Graph g = MakeFunnelGraph(1200, 2, /*park_weights=*/false);
+  const auto run = [&](EngineOptions o) {
+    o.use_atomic_updates = true;
+    o.enable_vote_early_exit = false;
+    return RunBfs(g, 0, MakeK40(), o);
+  };
+  SweepPreCombinedThreads(run);
+  const auto pre = run(PreCombineOptions(3));
+  const auto per_record = run(PartitionedPushOptions(3));
+  EXPECT_EQ(pre.stats.counters.atomic_conflicts, 0u);
+  EXPECT_GT(per_record.stats.counters.atomic_conflicts, 0u);
+  EXPECT_LT(pre.stats.counters.atomic_ops, per_record.stats.counters.atomic_ops);
+}
+
+TEST(PreCombinedReplayTest, PerRecordStatsUntouchedWhenFlagOff) {
+  // The kPerRecord guarantee survives this PR byte-for-byte: an explicit
+  // pre_combine_replay=false run is indistinguishable from a default-options
+  // run at every thread count, for a capable and an order-sensitive program.
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 8, 53), /*directed=*/false);
+  for (uint32_t threads : {1u, 2u, 3u, 8u}) {
+    EngineOptions defaults = PushOptions(threads);
+    EngineOptions off = PushOptions(threads);
+    off.pre_combine_replay = false;
+    const auto d_bfs = RunBfs(g, 0, MakeK40(), defaults);
+    const auto o_bfs = RunBfs(g, 0, MakeK40(), off);
+    ExpectIdenticalRuns(d_bfs, o_bfs);
+    EXPECT_EQ(o_bfs.stats.contract, StatsContract::kPerRecord);
+    ExpectIdenticalRuns(RunSssp(g, 0, MakeK40(), defaults),
+                        RunSssp(g, 0, MakeK40(), off));
+  }
+}
+
+TEST(PreCombinedReplayTest, ProfileReportsFoldRatio) {
+  const Graph g = MakeFunnelGraph(1000, 3, /*park_weights=*/false);
+  EngineOptions o = PreCombineOptions(4);
+  o.profile_push_replay = true;
+  BfsProgram program;
+  program.source = 0;
+  Engine<BfsProgram> engine(g, MakeK40(), o);
+  const auto result = engine.Run(program);
+  ASSERT_TRUE(result.stats.ok());
+  const PushReplayProfile& prof = engine.push_profile();
+  EXPECT_GT(prof.precombined_replays, 0u);
+  EXPECT_GT(prof.partitioned_replays, 0u);
+  ASSERT_GT(prof.fold_applies, 0u);
+  // Run-wide the fold must have removed work (more records than applies)...
+  EXPECT_GT(prof.fold_records, prof.fold_applies);
+  // ...and the funnel iteration (1000 spokes -> 3 hubs) must show an extreme
+  // per-iteration fold ratio.
+  uint64_t best_ratio = 0;
+  for (const PushReplayIterationSplit& it : prof.iterations) {
+    EXPECT_TRUE(it.pre_combined);
+    EXPECT_LE(it.applies, it.records);
+    if (it.applies > 0) {
+      best_ratio = std::max(best_ratio, it.records / it.applies);
+    }
+  }
+  EXPECT_GT(best_ratio, 100u);
 }
 
 // --- PushBuffer mechanics ---

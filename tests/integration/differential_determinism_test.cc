@@ -1,0 +1,266 @@
+// Randomized differential determinism harness.
+//
+// The engine's determinism story now has TWO contracts (simt/cost_model.h):
+// kPerRecord (the original byte-identical per-record drain) and
+// kPerDestination (the associative pre-combining drain). This harness sweeps
+// seed-randomized graphs from three generator families (R-MAT, Erdős–Rényi,
+// small-world) across the full algorithm suite, host thread counts
+// {1, 2, 3, 8}, pinned directions (natural / force_push / force_pull) and
+// pre_combine_replay off/on, asserting for every cell:
+//
+//   * DIFFERENTIAL DETERMINISM: the bench StatsFingerprint (counters,
+//     simulated time, patterns, raw value bytes) of every multi-threaded run
+//     equals the host_threads=1 run of the SAME configuration — i.e. the
+//     parallel drains are differentially tested against their serial
+//     counterparts, under whichever contract the configuration selects.
+//   * ORACLE CORRECTNESS: output values match the textbook CPU references in
+//     baselines/cpu_reference.* (exactly for the integer-valued algorithms
+//     in every direction mode; within tolerance for the floating-point ones,
+//     whose push-mode record order legitimately reassociates sums).
+//
+// ≥ 20 seed/graph combinations per algorithm (3 families × 7 seeds), every
+// combination exercising all four thread counts — this is the randomized
+// sweep the ctest `slow`/`sweep` labels exist for (the default CI job runs
+// `ctest -LE slow`; run it nightly-style or locally via `ctest -L sweep`).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "algos/algos.h"
+#include "baselines/cpu_reference.h"
+#include "bench/common.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  Graph graph;
+};
+
+// 21 seed/graph combinations shared by every algorithm's sweep. Kept small
+// (≤ ~512 vertices, ≤ ~4k edges) so the full cross-product stays minutes,
+// not hours, on one core.
+const std::vector<GraphCase>& AllCases() {
+  static const std::vector<GraphCase>* cases = [] {
+    auto* v = new std::vector<GraphCase>();
+    for (uint64_t seed = 1; seed <= 7; ++seed) {
+      v->push_back({"rmat/" + std::to_string(seed),
+                    Graph::FromEdges(GenerateRmat(8, 8, seed),
+                                     /*directed=*/false)});
+      v->push_back({"er/" + std::to_string(seed),
+                    Graph::FromEdges(GenerateUniformRandom(300, 1800, seed),
+                                     /*directed=*/false)});
+      v->push_back({"sw/" + std::to_string(seed),
+                    Graph::FromEdges(GenerateSmallWorld(256, 4, 0.2, seed),
+                                     /*directed=*/false)});
+    }
+    return v;
+  }();
+  return *cases;
+}
+
+enum class Dir { kNatural, kForcePush, kForcePull };
+constexpr Dir kDirs[] = {Dir::kNatural, Dir::kForcePush, Dir::kForcePull};
+
+const char* Name(Dir d) {
+  switch (d) {
+    case Dir::kNatural:
+      return "natural";
+    case Dir::kForcePush:
+      return "force_push";
+    default:
+      return "force_pull";
+  }
+}
+
+EngineOptions Options(uint32_t threads, Dir dir, bool pre_combine) {
+  EngineOptions o;
+  o.host_threads = threads;
+  o.sim_worker_threads = 64;  // small graphs: keep the online filter viable
+  o.force_push = dir == Dir::kForcePush;
+  o.force_pull = dir == Dir::kForcePull;
+  o.pre_combine_replay = pre_combine;
+  o.parallel_replay_min_records = 0;  // tiny graphs must still partition
+  return o;
+}
+
+// One configuration cell: runs serial, sweeps threads against it, and hands
+// the serial result to `check_oracle`.
+template <typename RunFn, typename OracleFn>
+void SweepCell(const std::string& label, Dir dir, bool pre_combine,
+               const RunFn& run, const OracleFn& check_oracle) {
+  SCOPED_TRACE(label + " dir=" + Name(dir) +
+               (pre_combine ? " pre_combine" : " per_record"));
+  const auto serial = run(Options(1, dir, pre_combine));
+  ASSERT_TRUE(serial.stats.ok());
+  const std::string serial_print = bench::StatsFingerprint(serial);
+  check_oracle(serial);
+  for (uint32_t threads : {2u, 3u, 8u}) {
+    const auto parallel = run(Options(threads, dir, pre_combine));
+    EXPECT_EQ(bench::StatsFingerprint(parallel), serial_print)
+        << "host_threads=" << threads;
+  }
+}
+
+// Full sweep for one algorithm: every graph case × direction × contract.
+template <typename RunFn, typename OracleFn>
+void SweepAlgorithm(const RunFn& run, const OracleFn& check_oracle) {
+  for (const GraphCase& c : AllCases()) {
+    for (Dir dir : kDirs) {
+      for (bool pre_combine : {false, true}) {
+        SweepCell(c.name, dir, pre_combine,
+                  [&](const EngineOptions& o) { return run(c.graph, o); },
+                  [&](const auto& serial) { check_oracle(c.graph, serial, dir); });
+      }
+    }
+  }
+}
+
+TEST(DifferentialDeterminismTest, Bfs) {
+  SweepAlgorithm(
+      [](const Graph& g, const EngineOptions& o) {
+        return RunBfs(g, 0, MakeK40(), o);
+      },
+      [](const Graph& g, const RunResult<uint32_t>& r, Dir) {
+        EXPECT_EQ(r.values, CpuBfsLevels(g, 0));  // min-fold: exact always
+      });
+}
+
+TEST(DifferentialDeterminismTest, Sssp) {
+  SweepAlgorithm(
+      [](const Graph& g, const EngineOptions& o) {
+        return RunSssp(g, 0, MakeK40(), o);
+      },
+      [](const Graph& g, const RunResult<uint32_t>& r, Dir) {
+        EXPECT_EQ(r.values, CpuDijkstra(g, 0));
+      });
+}
+
+TEST(DifferentialDeterminismTest, Wcc) {
+  SweepAlgorithm(
+      [](const Graph& g, const EngineOptions& o) {
+        return RunWcc(g, MakeK40(), o);
+      },
+      [](const Graph& g, const RunResult<uint32_t>& r, Dir) {
+        EXPECT_EQ(r.values, CpuWccLabels(g));
+      });
+}
+
+TEST(DifferentialDeterminismTest, KCore) {
+  SweepAlgorithm(
+      [](const Graph& g, const EngineOptions& o) {
+        return RunKCore(g, 4, MakeK40(), o);
+      },
+      [](const Graph& g, const RunResult<KCoreValue>& r, Dir) {
+        const std::vector<bool> expected = CpuKCoreRemoved(g, 4);
+        for (VertexId v = 0; v < g.vertex_count(); ++v) {
+          EXPECT_EQ(r.values[v].removed != 0, expected[v]) << "vertex " << v;
+        }
+      });
+}
+
+TEST(DifferentialDeterminismTest, PageRank) {
+  SweepAlgorithm(
+      [](const Graph& g, const EngineOptions& o) {
+        return RunPageRank(g, MakeK40(), o, /*epsilon=*/1e-10);
+      },
+      [](const Graph& g, const RunResult<PageRankValue>& r, Dir) {
+        const std::vector<double> expected = CpuPageRank(g, 0.85, 1e-12);
+        for (VertexId v = 0; v < g.vertex_count(); ++v) {
+          EXPECT_NEAR(r.values[v].rank, expected[v], 1e-6) << "vertex " << v;
+        }
+      });
+}
+
+TEST(DifferentialDeterminismTest, Bp) {
+  SweepAlgorithm(
+      [](const Graph& g, const EngineOptions& o) {
+        return RunBp(g, 10, MakeK40(), o);
+      },
+      [](const Graph& g, const RunResult<double>& r, Dir dir) {
+        if (dir == Dir::kForcePush) {
+          // BP's Apply REPLACES the belief with prior + combined, so the
+          // per-record push drain (last record wins) is deterministic but
+          // not the sum-product fixpoint — only the pre-combined push and
+          // the pull gathers compute BP. The differential gate above still
+          // covers force_push; the oracle check only applies to gathers.
+          return;
+        }
+        const std::vector<double> expected = CpuBp(g, 10);
+        for (VertexId v = 0; v < g.vertex_count(); ++v) {
+          EXPECT_NEAR(r.values[v], expected[v], 1e-9) << "vertex " << v;
+        }
+      });
+}
+
+// Deterministic SpMV input vector.
+std::vector<double> SpmvInput(const Graph& g) {
+  std::vector<double> x(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    x[v] = 1.0 / (1.0 + v);
+  }
+  return x;
+}
+
+TEST(DifferentialDeterminismTest, Spmv) {
+  SweepAlgorithm(
+      [](const Graph& g, const EngineOptions& o) {
+        return RunSpmv(g, SpmvInput(g), MakeK40(), o);
+      },
+      [](const Graph& g, const RunResult<SpmvValue>& r, Dir dir) {
+        if (dir == Dir::kForcePush) {
+          // Replace-style Apply, same caveat as BP below: only the gathers
+          // (and the pre-combined push, tested separately) compute y = A x.
+          return;
+        }
+        const std::vector<double> expected = CpuSpmv(g, SpmvInput(g));
+        for (VertexId v = 0; v < g.vertex_count(); ++v) {
+          EXPECT_NEAR(r.values[v].y, expected[v], 1e-9) << "vertex " << v;
+        }
+      });
+}
+
+// The pre-combined push drain actually REPAIRS the two replace-style
+// programs in push mode: one Apply per destination receives the full fold,
+// so forced-push BP and SpMV agree with their pull oracles (up to
+// record-order reassociation of the sum) — evidence the fold covers every
+// record.
+TEST(DifferentialDeterminismTest, PreCombinedPushBpMatchesOracle) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g =
+        Graph::FromEdges(GenerateUniformRandom(200, 1200, seed), false);
+    const auto r =
+        RunBp(g, 10, MakeK40(), Options(3, Dir::kForcePush, /*pre_combine=*/true));
+    ASSERT_TRUE(r.stats.ok());
+    const std::vector<double> expected = CpuBp(g, 10);
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_NEAR(r.values[v], expected[v], 1e-9) << "seed " << seed
+                                                  << " vertex " << v;
+    }
+  }
+}
+
+TEST(DifferentialDeterminismTest, PreCombinedPushSpmvMatchesOracle) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g =
+        Graph::FromEdges(GenerateUniformRandom(200, 1200, seed), false);
+    const std::vector<double> x = SpmvInput(g);
+    const auto r = RunSpmv(g, x, MakeK40(),
+                           Options(3, Dir::kForcePush, /*pre_combine=*/true));
+    ASSERT_TRUE(r.stats.ok());
+    const std::vector<double> expected = CpuSpmv(g, x);
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_NEAR(r.values[v].y, expected[v], 1e-9) << "seed " << seed
+                                                    << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simdx
