@@ -237,4 +237,37 @@ void WarnIfSingleCore() {
   }
 }
 
+bool SpeedupGateEnabled(uint32_t min_cores) {
+#if defined(__SANITIZE_THREAD__)
+  constexpr bool kTsan = true;
+#elif defined(__has_feature)
+  constexpr bool kTsan = __has_feature(thread_sanitizer);
+#else
+  constexpr bool kTsan = false;
+#endif
+  if (kTsan) {
+    std::cerr << "speedup gate SKIPPED: ThreadSanitizer build (determinism "
+                 "gates still enforced)\n";
+    return false;
+  }
+  const uint32_t hw = std::thread::hardware_concurrency();
+  if (hw < min_cores) {
+    std::cerr << "speedup gate SKIPPED: hardware_concurrency=" << hw << " < "
+              << min_cores << " (determinism gates still enforced)\n";
+    return false;
+  }
+  return true;
+}
+
+bool ArmSmokeSpeedupGate(std::vector<uint32_t>& threads, uint32_t& repeats) {
+  if (!SpeedupGateEnabled(4)) {
+    return false;
+  }
+  if (*std::max_element(threads.begin(), threads.end()) < 4) {
+    threads.push_back(4);
+  }
+  repeats = std::max(repeats, 2u);
+  return true;
+}
+
 }  // namespace simdx::bench

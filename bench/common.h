@@ -97,6 +97,21 @@ std::vector<uint32_t> ParseThreadList(const std::string& s, const char* flag);
 // determinism gates remain valid).
 void WarnIfSingleCore();
 
+// Whether wall-clock SPEEDUP gates should be enforced on this host: true
+// only with >= min_cores hardware threads AND a non-sanitizer build (TSan
+// serializes enough that parallel-stage speedups are not meaningful). When
+// returning false it prints the skip reason to stderr — on a 1-core runner
+// that is the WarnIfSingleCore story: the determinism gates still run, the
+// speedup expectation is waived (exit 0 as far as this gate is concerned).
+bool SpeedupGateEnabled(uint32_t min_cores);
+
+// Smoke-mode arming shared by host_scaling and push_replay: when
+// SpeedupGateEnabled(4) holds, extends `threads` to include a 4-thread
+// sample and bumps `repeats` to at least 2 (best-of timing stability), then
+// returns true — the caller enforces its minimum speedup. Returns false
+// (inputs untouched) when the gate is waived.
+bool ArmSmokeSpeedupGate(std::vector<uint32_t>& threads, uint32_t& repeats);
+
 // The simulated-statistics fingerprint the determinism gates freeze: the
 // stats contract the run was accounted under (leading field — fingerprints
 // recorded under different contracts are DIFFERENT BY DESIGN and must never
@@ -107,6 +122,15 @@ void WarnIfSingleCore();
 // push_replay and the differential determinism harness must agree on what
 // "identical stats" means or a divergence could pass one gate and fail the
 // other.
+//
+// DELIBERATELY EXCLUDED: the host-side record-stream telemetry
+// (RunStats::push_records_buffered/_candidates/collect_fold_iterations).
+// The collect-side fold's whole job is to shrink the buffered record count
+// while leaving every simulated stat and value byte untouched, so a
+// fold-on run must stay fingerprint-identical to its fold-off sibling —
+// push_replay gates exactly that. The telemetry's own thread-count
+// determinism is pinned separately (parallel_test's ExpectIdenticalRuns and
+// the differential harness).
 template <typename Value>
 std::string StatsFingerprint(const RunResult<Value>& r) {
   uint64_t values_hash = 1469598103934665603ull;

@@ -15,8 +15,12 @@
 // --seed selects the RMAT generator seed (default 42) so recorded JSON runs
 // are reproducible byte-for-byte.
 //
-// --smoke: CI divergence gate — scale 13, 1 repeat, threads {1,2} (no
-// speedup expectations, exit code reflects determinism only).
+// --smoke: CI divergence gate — scale 13, 1 repeat, threads {1,2}. When the
+// host has >= 4 cores (and the build is sanitizer-free —
+// bench::SpeedupGateEnabled), smoke additionally extends the thread list to
+// include 4 and enforces a minimum geomean wall-clock speedup across the
+// algorithm suite; on smaller hosts the gate prints the skip reason and the
+// exit code reflects determinism only, exactly as before.
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -44,6 +48,7 @@ struct Args {
   std::vector<uint32_t> threads = {1, 2, 4, 8};
   uint32_t repeats = 3;
   std::string json_path;
+  bool smoke = false;
 };
 
 Args Parse(int argc, char** argv) {
@@ -63,6 +68,7 @@ Args Parse(int argc, char** argv) {
     } else if (a == "--threads" && i + 1 < argc) {
       args.threads = bench::ParseThreadList(argv[++i], "--threads");
     } else if (a == "--smoke") {
+      args.smoke = true;
       args.scale = 13;
       args.repeats = 1;
       args.threads = {1, 2};
@@ -126,13 +132,31 @@ void Measure(const std::string& algo, const Args& args, const RunFn& run,
 }  // namespace
 }  // namespace simdx
 
+namespace simdx {
+namespace {
+
+// Minimum geomean whole-run speedup (t=1 vs the largest measured thread
+// count) the smoke gate enforces when bench::SpeedupGateEnabled(4):
+// conservative on purpose — the suite includes merge-heavy pull workloads,
+// but 4 cores clear 1.2x with a wide margin when the runtime scales at all.
+constexpr double kMinSuiteSpeedup = 1.2;
+
+}  // namespace
+}  // namespace simdx
+
 int main(int argc, char** argv) {
   using namespace simdx;
-  const Args args = Parse(argc, argv);
+  Args args = Parse(argc, argv);
 
   // The PR 1 flat-curve trap: the JSON records hardware_concurrency so
   // readers can tell; warn loudly up front too.
   bench::WarnIfSingleCore();
+
+  // Suite speedup gate (smoke only): self-guarded by a runtime
+  // hardware_concurrency check, so the CI step stays unconditional and
+  // 1-core runners keep today's determinism-only behaviour.
+  const bool speedup_gate =
+      args.smoke && bench::ArmSmokeSpeedupGate(args.threads, args.repeats);
 
   std::cerr << "building RMAT scale=" << args.scale
             << " edge_factor=" << args.edge_factor << " seed=" << args.seed
@@ -196,6 +220,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Suite speedup gate: geomean over algorithms of best_ms(t=1) /
+  // best_ms(t=max). Only armed when SpeedupGateEnabled said the host can
+  // meaningfully scale.
+  bool speedup_ok = true;
+  if (speedup_gate) {
+    const uint32_t t_max =
+        *std::max_element(args.threads.begin(), args.threads.end());
+    std::vector<double> ratios;
+    for (const Sample& s : samples) {
+      if (s.threads != 1) {
+        continue;
+      }
+      for (const Sample& other : samples) {
+        if (other.algo == s.algo && other.threads == t_max) {
+          ratios.push_back(s.best_ms / other.best_ms);
+        }
+      }
+    }
+    const double geomean = bench::GeoMean(ratios);
+    std::cerr << "suite speedup t=1 -> t=" << t_max << ": geomean " << geomean
+              << "x (gate: >= " << kMinSuiteSpeedup << ")\n";
+    if (ratios.empty() || geomean < kMinSuiteSpeedup) {
+      speedup_ok = false;
+      std::cerr << "SPEEDUP FAIL: suite geomean " << geomean << "x from 1 to "
+                << t_max << " threads (need >= " << kMinSuiteSpeedup << ")\n";
+    }
+  }
+
   std::ostringstream json;
   json.precision(6);
   json << std::fixed;
@@ -229,5 +281,5 @@ int main(int argc, char** argv) {
     std::cerr << "wrote " << args.json_path << "\n";
   }
   std::cout << json.str();
-  return deterministic ? 0 : 1;
+  return deterministic && speedup_ok ? 0 : 1;
 }

@@ -23,6 +23,8 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <span>
 #include <utility>
 #include <vector>
@@ -61,6 +63,10 @@ inline double EffectiveOccupancy(double occupancy) {
 struct PushReplayIterationSplit {
   uint32_t iteration = 0;
   uint64_t records = 0;
+  // Records actually written to the push buffers: == records unless the
+  // collect-side fold engaged, < records when it merged same-chunk
+  // same-destination candidates.
+  uint64_t buffered = 0;
   // Applies the drain issued: == records under the per-record drain, == the
   // touched-destination count under the pre-combined drain.
   uint64_t applies = 0;
@@ -68,6 +74,7 @@ struct PushReplayIterationSplit {
   double replay_ms = 0.0;
   bool partitioned = false;    // owner-computes drain (vs the serial fallback)
   bool pre_combined = false;   // associative fold drain (one Apply per dst)
+  bool collect_folded = false;  // collect-side fold armed for this iteration
 };
 
 struct PushReplayProfile {
@@ -80,6 +87,14 @@ struct PushReplayProfile {
   uint64_t precombined_replays = 0;
   uint64_t fold_records = 0;
   uint64_t fold_applies = 0;
+  // Collect-side fold telemetry (the record-stream memory diet): iterations
+  // the fold engaged on, and the largest record-stream footprint any single
+  // iteration reached (PushBuffer::FootprintBytes summed over that
+  // iteration's chunk buffers — host bytes, including bucket lanes, so
+  // thread-count dependent). The buffered/candidate record split lives on
+  // RunStats, not here: it is always accounted, profiling or not.
+  uint64_t collect_fold_replays = 0;
+  size_t peak_buffer_bytes = 0;
   double collect_ms = 0.0;  // summed over push iterations
   double replay_ms = 0.0;
   // Pre-combined drain split: worker busy time folding candidates vs
@@ -164,6 +179,40 @@ class Engine {
         fold_acc_.resize(n);
       }
     }
+    // Collect-side pre-combining (see the phase comment above ProcessPush):
+    // legal only on top of the pre-combined drain — folding records while
+    // the per-record drain is selected would change the kPerRecord stats.
+    collect_fold_armed_ = pre_combine_ && options_.pre_combine_collect;
+    if (collect_fold_armed_) {
+      // One fold table per host thread (a thread runs one chunk at a time,
+      // and the epoch stamp isolates chunks, so per-thread reuse is safe and
+      // deterministic). Stamps must start below any epoch; slots are only
+      // read behind a matching stamp and stay uninitialized.
+      if (fold_tables_.size() < host_threads_) {
+        fold_tables_.resize(host_threads_);
+      }
+      for (uint32_t t = 0; t < host_threads_; ++t) {
+        if (fold_tables_[t].stamp.size() < n) {
+          fold_tables_[t].stamp.assign(n, 0u);
+          fold_tables_[t].slot.resize(n);
+          fold_tables_[t].epoch = 0;
+        }
+      }
+      // Destination universe for the per-iteration reuse estimate: vertices
+      // that can receive a record at all. A pure graph fact, computed once.
+      const auto& in_offsets = graph_.in().row_offsets();
+      in_destinations_ = 0;
+      for (size_t v = 0; v < n; ++v) {
+        in_destinations_ += in_offsets[v + 1] > in_offsets[v] ? 1 : 0;
+      }
+    }
+    // The worker lane feeds the online-filter bins; a pure-ballot policy
+    // never consults it (JitController::RecordActivation returns early), so
+    // the collect drops the lane and replay reads a constant 0.
+    workers_observed_ = options_.filter != FilterPolicy::kBallotOnly;
+    run_record_candidates_ = 0;
+    run_records_buffered_ = 0;
+    run_collect_fold_iterations_ = 0;
     SetupReplayPartition();
 
     Direction prev_dir = Direction::kPush;
@@ -340,6 +389,9 @@ class Engine {
 
     result.stats.iterations = iter;
     result.stats.converged = iter < options_.max_iterations && !result.stats.failed;
+    result.stats.push_record_candidates = run_record_candidates_;
+    result.stats.push_records_buffered = run_records_buffered_;
+    result.stats.collect_fold_iterations = run_collect_fold_iterations_;
     result.values.assign(meta.values().begin(), meta.values().end());
     return result;
   }
@@ -517,6 +569,22 @@ class Engine {
   //   host_threads — under the per-destination contract, which maps to the
   //   per-record one as documented in bench/README.md.
   //
+  //   COLLECT-SIDE PRE-COMBINING (EngineOptions::pre_combine_collect, on
+  //   top of the pre-combined drains): iterations whose cost-model reuse
+  //   estimate clears pre_combine_collect_min_fold fold same-chunk
+  //   same-destination candidates AT COLLECT TIME through per-thread
+  //   epoch-stamped dst→slot tables, buffering one record per (chunk,
+  //   destination) with a fold count instead of one per out-edge — the
+  //   record stream (and the bytes collect→bucket→replay moves) shrinks at
+  //   the source. Simulated stats are untouched (all collect charges are
+  //   per edge); the drain-side fold consumes the shorter stream and
+  //   produces the identical fold_records/fold_applies split, touch sets,
+  //   apply counts and activation order, because a chunk's folded record is
+  //   the chunk-contiguous prefix-fold of exactly the candidates the
+  //   fold-free stream would have drained there. Folding iterations pin the
+  //   thread-count-stable chunk plan (PlanChunksStable) since FP Combines
+  //   see the chunk grouping bit-for-bit.
+  //
   // Semantics: push iterations are BSP (Jacobi-style), like pull and like
   // the real double-buffered kernels — a candidate computed this phase never
   // observes a value written this phase; same-phase arrivals land in curr
@@ -576,6 +644,26 @@ class Engine {
     double apply_ms = 0.0;
   };
 
+  // Per-host-thread scratch for the collect-side fold: dst → slot of the
+  // destination's first record in the CURRENT chunk's buffer. Epoch-stamped
+  // so arming a new chunk is O(1) — a thread runs one chunk at a time, so
+  // entries from its previous chunks are simply stale by stamp mismatch.
+  // Sized to the vertex count once per run and reused across chunks and
+  // iterations: zero steady-state allocation. The table's content never
+  // leaves the chunk it was filled for, so per-THREAD reuse is invisible to
+  // the (per-chunk-deterministic) record stream.
+  struct CollectFoldTable {
+    NumaVector<uint32_t> stamp;
+    NumaVector<uint32_t> slot;
+    uint32_t epoch = 0;
+    void NextChunk() {
+      if (++epoch == 0) {  // wrapped: old stamps could alias the new epoch
+        std::fill(stamp.begin(), stamp.end(), 0u);
+        epoch = 1;
+      }
+    }
+  };
+
   static double NowMs() {
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now().time_since_epoch())
@@ -587,13 +675,33 @@ class Engine {
                        uint64_t frontier_out_edges, JitController& jit,
                        CostCounters& cost) {
     // Decide the drain up front: the frontier's out-edge sum (already
-    // computed by classification) is exactly the record count the collect
-    // will buffer, so iterations below the threshold skip the bucketing
-    // bookkeeping (owner lookups, index appends, span events) entirely and
-    // go straight to the serial drain.
+    // computed by classification) is exactly the record count a fold-free
+    // collect will buffer, so iterations below the threshold skip the
+    // bucketing bookkeeping (owner lookups, index appends, span events)
+    // entirely and go straight to the serial drain.
     collect_bucketed_ =
         replay_ranges_ > 1 &&
         frontier_out_edges >= options_.parallel_replay_min_records;
+    // Collect-side fold, decided per iteration from simulated statistics
+    // only (thread-count independent): skip the fold-table walk when the
+    // cost model predicts destinations barely repeat.
+    collect_fold_ =
+        collect_fold_armed_ &&
+        EstimateRecordsPerDestination(frontier_out_edges, in_destinations_) >=
+            options_.pre_combine_collect_min_fold;
+    // The whole replay scheme addresses records WITHIN one buffer by uint32
+    // (Pos packs buffer<<32|index, span counters and bucket entries are
+    // uint32), and a single-chunk collect puts the entire frontier in one
+    // buffer. 2^32 records is ~50 GB of host buffer — far past the
+    // simulator's design regime — so refuse loudly instead of wrapping
+    // silently into corrupt replays.
+    if (frontier_out_edges >> 32 != 0) {
+      std::fprintf(stderr,
+                   "simdx: push iteration with %llu out-edge records exceeds "
+                   "the 2^32 per-buffer record bound\n",
+                   static_cast<unsigned long long>(frontier_out_edges));
+      std::abort();
+    }
     const bool profile = options_.profile_push_replay;
     const double t_collect = profile ? NowMs() : 0.0;
     uint32_t num_buffers = 0;
@@ -603,6 +711,9 @@ class Engine {
     const double t_replay = profile ? NowMs() : 0.0;
     const ReplayOutcome outcome =
         ReplayPush(program, meta, num_buffers, jit, cost);
+    run_record_candidates_ += outcome.edges;
+    run_records_buffered_ += outcome.buffered;
+    run_collect_fold_iterations_ += collect_fold_ ? 1 : 0;
     if (profile) {
       const double t_done = NowMs();
       profile_.collect_ms += t_replay - t_collect;
@@ -614,9 +725,13 @@ class Engine {
         profile_.fold_records += outcome.edges;
         profile_.fold_applies += outcome.applies;
       }
+      profile_.collect_fold_replays += collect_fold_ ? 1 : 0;
+      profile_.peak_buffer_bytes =
+          std::max(profile_.peak_buffer_bytes, outcome.buffer_bytes);
       profile_.iterations.push_back(PushReplayIterationSplit{
-          stamp_ - 1, outcome.edges, outcome.applies, t_replay - t_collect,
-          t_done - t_replay, outcome.partitioned, pre_combine_});
+          stamp_ - 1, outcome.edges, outcome.buffered, outcome.applies,
+          t_replay - t_collect, t_done - t_replay, outcome.partitioned,
+          pre_combine_, collect_fold_});
     }
     return outcome.edges;
   }
@@ -624,9 +739,12 @@ class Engine {
   // Collect phase for one list: chunk it, fill push_buffers_[base ..
   // base+chunks). Grain floors shrink with kernel class — a CTA-class vertex
   // carries at least medium_degree_limit edges, so far fewer of them make a
-  // worthwhile chunk. Chunk boundaries never affect results (the replay
-  // drains in list order regardless), so the serial path may legally use a
-  // single chunk.
+  // worthwhile chunk. Without the collect-side fold, chunk boundaries never
+  // affect results (the replay drains in list order regardless), so the
+  // serial path may legally use a single chunk. WITH it they are observable
+  // (the fold groups records by chunk, and FP Combines see the grouping), so
+  // a folding collect pins the thread-count-stable plan and every thread
+  // count — including the inline serial path — runs the same decomposition.
   uint32_t CollectPush(const Program& program, const VertexMeta<Value>& meta,
                        const WorkListView& view, bool frontier_sorted,
                        uint32_t base) {
@@ -639,8 +757,11 @@ class Engine {
     } else if (view.klass == KernelClass::kCta) {
       min_grain = 4;
     }
-    const ChunkPlan plan = PlanChunks(view.size, host_threads_, min_grain,
-                                      /*serial_below=*/512, pool_ != nullptr);
+    const ChunkPlan plan =
+        collect_fold_
+            ? PlanChunksStable(view.size, min_grain)
+            : PlanChunks(view.size, host_threads_, min_grain,
+                         /*serial_below=*/512, pool_ != nullptr);
     if (push_buffers_.size() < base + plan.chunks) {
       push_buffers_.resize(base + plan.chunks);
     }
@@ -650,35 +771,51 @@ class Engine {
     // and their bucket pages first-touched — by whichever pool thread runs
     // the chunk.
     const bool bucketed = collect_bucketed_;
-    const auto prep = [&](PushBuffer<Value>& buf) {
-      if (bucketed) {
-        buf.BeginCollect(replay_ranges_, /*track_spans=*/kHasConsume);
-      } else {
-        buf.Clear();
-      }
+    const auto run_chunk = [&](uint32_t chunk, size_t begin, size_t end,
+                               uint32_t thread_index) {
+      PushBuffer<Value>& buf = push_buffers_[base + chunk];
+      buf.BeginCollect(bucketed ? replay_ranges_ : 0,
+                       /*track_spans=*/bucketed && kHasConsume,
+                       /*store_workers=*/workers_observed_,
+                       /*store_fold_counts=*/collect_fold_);
+      CollectPushRange(program, meta, view, frontier_sorted, begin, end, buf,
+                       collect_fold_ ? &fold_tables_[thread_index] : nullptr);
     };
     if (plan.chunks == 1) {
-      prep(push_buffers_[base]);
-      CollectPushRange(program, meta, view, frontier_sorted, 0, view.size,
-                       push_buffers_[base]);
+      run_chunk(0, 0, view.size, 0);
+    } else if (pool_ == nullptr || host_threads_ <= 1) {
+      // Stable plans reach here at host_threads == 1: run the identical
+      // decomposition inline, chunk by chunk in order (same boundaries as
+      // ParallelFor would produce — begin + i*grain).
+      for (uint32_t i = 0; i < plan.chunks; ++i) {
+        const size_t begin = static_cast<size_t>(i) * plan.grain;
+        run_chunk(i, begin, std::min(view.size, begin + plan.grain), 0);
+      }
     } else {
       pool_->ParallelFor(0, view.size, plan.grain, host_threads_,
                          [&](const ParallelChunk& c) {
-                           PushBuffer<Value>& buf =
-                               push_buffers_[base + c.chunk_index];
-                           prep(buf);
-                           CollectPushRange(program, meta, view, frontier_sorted,
-                                            c.begin, c.end, buf);
+                           run_chunk(c.chunk_index, c.begin, c.end,
+                                     c.thread_index);
                          });
     }
     return plan.chunks;
   }
 
+  // One chunk's collect. `fold` (non-null iff the collect-side fold is armed
+  // this iteration) is the running thread's dst→slot table, armed for this
+  // chunk by NextChunk: a repeated destination folds its candidate into its
+  // first record of THIS chunk instead of appending. Every simulated charge
+  // below is per EDGE and unconditional, so folding changes no statistic —
+  // only the record stream shrinks.
   void CollectPushRange(const Program& program, const VertexMeta<Value>& meta,
                         const WorkListView& view, bool frontier_sorted,
-                        size_t begin, size_t end, PushBuffer<Value>& buf) const {
+                        size_t begin, size_t end, PushBuffer<Value>& buf,
+                        CollectFoldTable* fold) const {
     const uint32_t workers = options_.sim_worker_threads;
     const bool bucketed = collect_bucketed_;
+    if (fold != nullptr) {
+      fold->NextChunk();
+    }
     for (size_t idx = begin; idx < end; ++idx) {
       const VertexId v = view[idx];
       const auto nbrs = graph_.out().Neighbors(v);
@@ -713,10 +850,23 @@ class Engine {
         if (options_.filter == FilterPolicy::kBatch) {
           buf.cost.coalesced_words += 6;
         }
-        buf.Append(nbrs[i], WorkerFor(idx, i, view.klass, workers),
-                   program.Compute(v, nbrs[i], wts[i], meta.curr(v),
-                                   Direction::kPush),
-                   bucketed ? range_of_vertex_[nbrs[i]] : 0);
+        const VertexId dst = nbrs[i];
+        const Value cand =
+            program.Compute(v, dst, wts[i], meta.curr(v), Direction::kPush);
+        if (fold != nullptr && fold->stamp[dst] == fold->epoch) {
+          // Same chunk, same destination: continue its left-fold in place.
+          // The record keeps its first candidate's worker lane — exactly the
+          // worker the drain-side fold's first touch would have kept.
+          buf.FoldInto(fold->slot[dst], cand, program);
+        } else {
+          const uint32_t slot =
+              buf.Append(dst, WorkerFor(idx, i, view.klass, workers), cand,
+                         bucketed ? range_of_vertex_[dst] : 0);
+          if (fold != nullptr) {
+            fold->stamp[dst] = fold->epoch;
+            fold->slot[dst] = slot;
+          }
+        }
       }
       buf.edges += degree;
     }
@@ -724,8 +874,10 @@ class Engine {
   }
 
   struct ReplayOutcome {
-    uint64_t edges = 0;
-    uint64_t applies = 0;  // == edges for per-record drains
+    uint64_t edges = 0;     // out-edge candidates walked at collect
+    uint64_t buffered = 0;  // records written (< edges iff collect folded)
+    uint64_t applies = 0;   // == edges for per-record drains
+    size_t buffer_bytes = 0;  // record-stream footprint of this iteration
     bool partitioned = false;
   };
 
@@ -743,6 +895,8 @@ class Engine {
     for (uint32_t b = 0; b < num_buffers; ++b) {
       cost += push_buffers_[b].cost;
       out.edges += push_buffers_[b].edges;
+      out.buffered += push_buffers_[b].size();
+      out.buffer_bytes += push_buffers_[b].FootprintBytes();
     }
     // Collect bucketed iff the pre-collect decision armed it (the frontier
     // out-edge sum it keyed on IS `edges`: one record per edge).
@@ -775,14 +929,12 @@ class Engine {
                    CostCounters& cost) {
     for (uint32_t b = 0; b < num_buffers; ++b) {
       const PushBuffer<Value>& buf = push_buffers_[b];
-      const auto& records = buf.records();
-      size_t r = 0;
+      uint32_t r = 0;
       for (const PushSourceSpan& span : buf.sources()) {
         for (uint32_t i = 0; i < span.num_records; ++i, ++r) {
-          const PushRecord<Value>& rec = records[r];
-          const VertexId u = rec.dst;
+          const VertexId u = buf.dst(r);
           const Value applied =
-              program.Apply(u, rec.cand, meta.curr(u), Direction::kPush);
+              program.Apply(u, buf.cand(r), meta.curr(u), Direction::kPush);
           if (options_.use_atomic_updates) {
             // AFC-style: every candidate lands as a device atomic;
             // concurrent candidates for the same destination serialize
@@ -798,7 +950,7 @@ class Engine {
             if (!options_.use_atomic_updates) {
               cost.scattered_words += 1;  // single writer, no atomic (ACC)
             }
-            MaybeRecord(program, meta, u, rec.worker, jit, cost);
+            MaybeRecord(program, meta, u, buf.worker(r), jit, cost);
           }
         }
         Consume(program, meta, span.src, Direction::kPush);
@@ -858,7 +1010,6 @@ class Engine {
                   uint32_t num_buffers, uint32_t p, ReplayScratch& s) {
     for (uint32_t b = 0; b < num_buffers; ++b) {
       const PushBuffer<Value>& buf = push_buffers_[b];
-      const auto& records = buf.records();
       const std::vector<uint32_t>& owned = buf.RangeRecords(p);
       if constexpr (kHasConsume) {
         const std::vector<PushSpanEvent>& spans = buf.RangeSpans(p);
@@ -868,14 +1019,14 @@ class Engine {
             Consume(program, meta, spans[si].src, Direction::kPush);
             ++si;
           }
-          ReplayRecord(program, meta, records[idx], Pos(b, idx), s);
+          ReplayRecord(program, meta, buf.record(idx), Pos(b, idx), s);
         }
         for (; si < spans.size(); ++si) {
           Consume(program, meta, spans[si].src, Direction::kPush);
         }
       } else {
         for (const uint32_t idx : owned) {
-          ReplayRecord(program, meta, records[idx], Pos(b, idx), s);
+          ReplayRecord(program, meta, buf.record(idx), Pos(b, idx), s);
         }
       }
     }
@@ -917,16 +1068,21 @@ class Engine {
   // contributors before its single Apply, i.e. pull iterations are
   // pre-combined by construction under either contract.
 
-  // FOLD pass step shared by both pre-combined drains.
-  void FoldRecord(const Program& program, const PushRecord<Value>& rec,
-                  uint64_t pos, std::vector<FoldTouch>& touched) {
-    const VertexId u = rec.dst;
+  // FOLD pass step shared by both pre-combined drains. A collect-side
+  // pre-folded record continues the destination's left-fold seamlessly: its
+  // candidate is the fold of a chunk-contiguous run of the original
+  // candidates, so chaining chunk folds here reproduces the global
+  // left-fold expression of the fold-free stream (bit-exactly for a fixed
+  // chunk plan — which is why a folding collect pins PlanChunksStable).
+  void FoldRecord(const Program& program, VertexId u, uint32_t worker,
+                  const Value& cand, uint64_t pos,
+                  std::vector<FoldTouch>& touched) {
     if (fold_stamp_[u] != stamp_) {
       fold_stamp_[u] = stamp_;
-      fold_acc_[u] = rec.cand;
-      touched.push_back(FoldTouch{pos, u, rec.worker});
+      fold_acc_[u] = cand;
+      touched.push_back(FoldTouch{pos, u, worker});
     } else {
-      fold_acc_[u] = program.Combine(fold_acc_[u], rec.cand);
+      fold_acc_[u] = program.Combine(fold_acc_[u], cand);
     }
   }
 
@@ -947,9 +1103,10 @@ class Engine {
     const bool profile = options_.profile_push_replay;
     const double t0 = profile ? NowMs() : 0.0;
     for (uint32_t b = 0; b < num_buffers; ++b) {
-      const auto& records = push_buffers_[b].records();
-      for (uint32_t idx = 0; idx < records.size(); ++idx) {
-        FoldRecord(program, records[idx], Pos(b, idx), s.touched);
+      const PushBuffer<Value>& buf = push_buffers_[b];
+      for (uint32_t idx = 0; idx < buf.size(); ++idx) {
+        FoldRecord(program, buf.dst(idx), buf.worker(idx), buf.cand(idx),
+                   Pos(b, idx), s.touched);
       }
     }
     const double t1 = profile ? NowMs() : 0.0;
@@ -1037,9 +1194,9 @@ class Engine {
     const double t0 = profile ? NowMs() : 0.0;
     for (uint32_t b = 0; b < num_buffers; ++b) {
       const PushBuffer<Value>& buf = push_buffers_[b];
-      const auto& records = buf.records();
       for (const uint32_t idx : buf.RangeRecords(p)) {
-        FoldRecord(program, records[idx], Pos(b, idx), s.touched);
+        FoldRecord(program, buf.dst(idx), buf.worker(idx), buf.cand(idx),
+                   Pos(b, idx), s.touched);
       }
     }
     if (profile) {
@@ -1401,6 +1558,25 @@ class Engine {
   // Per-run decision (Run): associative pre-combining armed — option on AND
   // the program declared CombineCapability::kAssociativeOnly.
   bool pre_combine_ = false;
+  // Per-run: collect-side fold available (pre_combine_ AND the option); and
+  // the per-iteration decision made in ProcessPush from the cost-model
+  // reuse estimate. When collect_fold_ is set for an iteration, the collect
+  // runs the thread-count-stable chunk plan and folds through fold_tables_.
+  bool collect_fold_armed_ = false;
+  bool collect_fold_ = false;
+  // Per-run: whether any drain can observe the per-record worker lane (the
+  // filter policy consults the online bins); off lets the collect drop the
+  // lane entirely (push_buffer.h memory diet).
+  bool workers_observed_ = true;
+  // Vertices with incoming edges — the destination universe of the reuse
+  // estimate. Computed once per run when the collect-side fold is armed.
+  uint64_t in_destinations_ = 0;
+  // Record-stream telemetry accumulated across the run's push iterations
+  // (copied into RunStats at the end of Run).
+  uint64_t run_record_candidates_ = 0;
+  uint64_t run_records_buffered_ = 0;
+  uint32_t run_collect_fold_iterations_ = 0;
+  std::vector<CollectFoldTable> fold_tables_;
   // Pre-combined drain state: per-vertex fold accumulators guarded by an
   // iteration stamp (a vertex's fold is owned by exactly one worker, so no
   // sharing). Allocated only when pre_combine_ is armed.

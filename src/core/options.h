@@ -85,6 +85,31 @@ struct EngineOptions {
   // (SSSP, k-Core) ignore the flag and keep the per-record drain.
   bool pre_combine_replay = false;
 
+  // Collect-side pre-combining (requires pre_combine_replay AND a
+  // kAssociativeOnly program; ignored otherwise): chunk workers fold
+  // same-chunk same-destination candidates with Combine AT COLLECT TIME, so
+  // hub-heavy frontiers buffer one record per (chunk, destination) instead
+  // of one per out-edge — the record stream itself shrinks, not just the
+  // applies. A pure host-side memory/bandwidth knob UNDER the
+  // per-destination contract: every simulated stat, value byte, touch set
+  // and per-destination apply count is identical to the drain-side-fold-only
+  // run for any host_threads (the collect then uses a thread-count-stable
+  // chunk plan — PlanChunksStable — because the fold's chunk grouping is
+  // bit-visible to floating-point Combines; for those, values match the
+  // drain-only fold up to reassociation, see bench/README.md).
+  bool pre_combine_collect = false;
+
+  // Minimum cost-model estimate of records-per-destination
+  // (simt/cost_model.h EstimateRecordsPerDestination) for an iteration to
+  // arm the collect-side fold: low-reuse iterations skip the fold-table walk
+  // entirely and collect exactly as before. 2.0 because the balls-in-bins
+  // estimate sits around 1.6 even for a frontier whose destinations are
+  // all-distinct by construction (records ≈ destination universe, e.g. a
+  // tree BFS level): demanding two expected records per destination keeps
+  // such zero-shrink iterations off the table walk. 0 forces the fold on
+  // every push iteration (tests).
+  double pre_combine_collect_min_fold = 2.0;
+
   // Initialize the metadata and per-vertex stamp arrays through ParallelFor
   // so their pages are first touched by the threads that will scan them
   // (NUMA placement). Identical values either way.

@@ -152,6 +152,20 @@ struct ChunkPlan {
 ChunkPlan PlanChunks(size_t n, uint32_t threads, size_t min_grain,
                      size_t serial_below, bool have_pool);
 
+// Thread-count-INDEPENDENT chunk plan, for collect passes whose per-chunk
+// grouping is OBSERVABLE: the engine's collect-side fold merges same-chunk
+// same-destination candidates, and for floating-point Combine the grouping
+// is bit-visible in the folded values. PlanChunks keys its grain on the
+// thread count (and collapses small ranges to one chunk), so two thread
+// counts would group — and round — differently. This plan depends only on
+// (n, min_grain): the grain is floored at min_grain and sized so at most
+// kStableMaxChunks chunks exist, giving the pool enough chunks to balance
+// while every thread count (including the inline serial path, which must
+// run the SAME decomposition chunk by chunk) folds the identical groups.
+inline constexpr size_t kStableMaxChunks = 64;
+
+ChunkPlan PlanChunksStable(size_t n, size_t min_grain);
+
 // Deterministic collect-then-drain over per-chunk buffers: `fill` runs once
 // per chunk (in parallel when a pool is available and the range is worth
 // it), writing into `buffers[chunk_index]`; `drain` then runs once per

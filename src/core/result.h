@@ -33,6 +33,19 @@ struct RunStats {
   // kPerDestination iff the run pre-combined its push replay. Depends only on
   // options + program capability, never on host_threads.
   StatsContract contract = StatsContract::kPerRecord;
+  // Record-stream telemetry of the push collect (HOST-side facts, never part
+  // of the simulated cost model, and deliberately NOT in the bench
+  // StatsFingerprint: a collect-fold-on run must stay fingerprint-identical
+  // to its fold-off sibling — the buffered-record shrink is the point, and
+  // it is gated separately). All three are nonetheless deterministic for any
+  // host_threads: candidates are a simulated stat, the fold decision keys on
+  // simulated stats only, and a folding collect runs a thread-count-stable
+  // chunk plan.
+  uint64_t push_record_candidates = 0;  // frontier out-edge candidates (what
+                                        // a fold-free collect would buffer)
+  uint64_t push_records_buffered = 0;   // records actually written to buffers
+  uint32_t collect_fold_iterations = 0;  // push iterations the collect-side
+                                         // fold engaged on
   CostCounters counters;
   SimTime time;
   // The scale-invariant part of `time`: kernel-launch, barrier and

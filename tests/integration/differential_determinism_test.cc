@@ -6,7 +6,8 @@
 // seed-randomized graphs from three generator families (R-MAT, Erdős–Rényi,
 // small-world) across the full algorithm suite, host thread counts
 // {1, 2, 3, 8}, pinned directions (natural / force_push / force_pull) and
-// pre_combine_replay off/on, asserting for every cell:
+// three replay modes (per-record / drain-side fold / drain-side fold +
+// collect-side pre-combining), asserting for every cell:
 //
 //   * DIFFERENTIAL DETERMINISM: the bench StatsFingerprint (counters,
 //     simulated time, patterns, raw value bytes) of every multi-threaded run
@@ -18,13 +19,24 @@
 //     in every direction mode; within tolerance for the floating-point ones,
 //     whose push-mode record order legitimately reassociates sums).
 //
-// ≥ 20 seed/graph combinations per algorithm (3 families × 7 seeds), every
-// combination exercising all four thread counts — this is the randomized
-// sweep the ctest `slow`/`sweep` labels exist for (the default CI job runs
-// `ctest -LE slow`; run it nightly-style or locally via `ctest -L sweep`).
+// ≥ 20 seed/graph combinations per algorithm (3 families × 7 seeds by
+// default), every combination exercising all four thread counts — this is
+// the randomized sweep the ctest `slow`/`sweep` labels exist for (the
+// default CI job runs `ctest -LE slow`; run it nightly-style or locally via
+// `ctest -L sweep`).
+//
+// NIGHTLY SCALING: the sweep's dimensions are env-tunable so the scheduled
+// workflow (.github/workflows/nightly-sweep.yml) can grow it far beyond the
+// seconds-scale defaults without touching the fast suite:
+//   SIMDX_SWEEP_SEEDS    seeds per generator family      (default 7)
+//   SIMDX_SWEEP_SCALE    graph scale, RMAT log2 vertices (default 8; ER and
+//                        small-world sizes scale by 2^(SCALE-8) with it)
+//   SIMDX_SWEEP_THREADS  comma-separated thread list     (default "2,3,8")
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,26 +50,64 @@
 namespace simdx {
 namespace {
 
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<uint64_t>(v) : fallback;
+}
+
+std::vector<uint32_t> SweepThreads() {
+  static const std::vector<uint32_t>* threads = [] {
+    auto* v = new std::vector<uint32_t>();
+    const char* s = std::getenv("SIMDX_SWEEP_THREADS");
+    std::istringstream ss(s == nullptr || *s == '\0' ? "2,3,8" : s);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      const uint64_t t = std::strtoull(token.c_str(), nullptr, 10);
+      if (t >= 1 && t <= 64) {
+        v->push_back(static_cast<uint32_t>(t));
+      }
+    }
+    if (v->empty()) {
+      *v = {2, 3, 8};
+    }
+    return v;
+  }();
+  return *threads;
+}
+
 struct GraphCase {
   std::string name;
   Graph graph;
 };
 
-// 21 seed/graph combinations shared by every algorithm's sweep. Kept small
-// (≤ ~512 vertices, ≤ ~4k edges) so the full cross-product stays minutes,
-// not hours, on one core.
+// Seed/graph combinations shared by every algorithm's sweep: 3 families ×
+// SIMDX_SWEEP_SEEDS seeds at SIMDX_SWEEP_SCALE. The defaults (21 cases,
+// ≤ ~512 vertices, ≤ ~4k edges) keep the full cross-product minutes, not
+// hours, on one core; the nightly job turns both knobs up.
 const std::vector<GraphCase>& AllCases() {
   static const std::vector<GraphCase>* cases = [] {
+    const uint64_t seeds = std::max<uint64_t>(1, EnvU64("SIMDX_SWEEP_SEEDS", 7));
+    const uint32_t scale = static_cast<uint32_t>(
+        std::min<uint64_t>(20, std::max<uint64_t>(6, EnvU64("SIMDX_SWEEP_SCALE", 8))));
+    // ER / small-world sizes grow with the same knob, anchored at the
+    // historical 300/256-vertex defaults for scale 8.
+    const uint32_t er_n = scale >= 8 ? 300u << (scale - 8) : 300u >> (8 - scale);
+    const uint32_t sw_n = scale >= 8 ? 256u << (scale - 8) : 256u >> (8 - scale);
     auto* v = new std::vector<GraphCase>();
-    for (uint64_t seed = 1; seed <= 7; ++seed) {
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
       v->push_back({"rmat/" + std::to_string(seed),
-                    Graph::FromEdges(GenerateRmat(8, 8, seed),
+                    Graph::FromEdges(GenerateRmat(scale, 8, seed),
                                      /*directed=*/false)});
       v->push_back({"er/" + std::to_string(seed),
-                    Graph::FromEdges(GenerateUniformRandom(300, 1800, seed),
+                    Graph::FromEdges(GenerateUniformRandom(er_n, 6 * er_n, seed),
                                      /*directed=*/false)});
       v->push_back({"sw/" + std::to_string(seed),
-                    Graph::FromEdges(GenerateSmallWorld(256, 4, 0.2, seed),
+                    Graph::FromEdges(GenerateSmallWorld(sw_n, 4, 0.2, seed),
                                      /*directed=*/false)});
     }
     return v;
@@ -79,13 +129,35 @@ const char* Name(Dir d) {
   }
 }
 
-EngineOptions Options(uint32_t threads, Dir dir, bool pre_combine) {
+// Replay-accounting mode: the per-record contract, the drain-side fold
+// (kPerDestination), and the drain-side fold with collect-side
+// pre-combining stacked on top (min_fold 0 forces the fold-table walk on
+// every push iteration, so tiny graphs still exercise it — including the
+// thread-count-stable chunk plan that keeps FP folds bit-identical).
+enum class Mode { kPerRecord, kPreCombine, kPreCombineCollect };
+constexpr Mode kModes[] = {Mode::kPerRecord, Mode::kPreCombine,
+                           Mode::kPreCombineCollect};
+
+const char* Name(Mode m) {
+  switch (m) {
+    case Mode::kPerRecord:
+      return "per_record";
+    case Mode::kPreCombine:
+      return "pre_combine";
+    default:
+      return "pre_combine_collect";
+  }
+}
+
+EngineOptions Options(uint32_t threads, Dir dir, Mode mode) {
   EngineOptions o;
   o.host_threads = threads;
   o.sim_worker_threads = 64;  // small graphs: keep the online filter viable
   o.force_push = dir == Dir::kForcePush;
   o.force_pull = dir == Dir::kForcePull;
-  o.pre_combine_replay = pre_combine;
+  o.pre_combine_replay = mode != Mode::kPerRecord;
+  o.pre_combine_collect = mode == Mode::kPreCombineCollect;
+  o.pre_combine_collect_min_fold = 0.0;
   o.parallel_replay_min_records = 0;  // tiny graphs must still partition
   return o;
 }
@@ -93,28 +165,36 @@ EngineOptions Options(uint32_t threads, Dir dir, bool pre_combine) {
 // One configuration cell: runs serial, sweeps threads against it, and hands
 // the serial result to `check_oracle`.
 template <typename RunFn, typename OracleFn>
-void SweepCell(const std::string& label, Dir dir, bool pre_combine,
-               const RunFn& run, const OracleFn& check_oracle) {
-  SCOPED_TRACE(label + " dir=" + Name(dir) +
-               (pre_combine ? " pre_combine" : " per_record"));
-  const auto serial = run(Options(1, dir, pre_combine));
+void SweepCell(const std::string& label, Dir dir, Mode mode, const RunFn& run,
+               const OracleFn& check_oracle) {
+  SCOPED_TRACE(label + " dir=" + Name(dir) + " mode=" + Name(mode));
+  const auto serial = run(Options(1, dir, mode));
   ASSERT_TRUE(serial.stats.ok());
   const std::string serial_print = bench::StatsFingerprint(serial);
   check_oracle(serial);
-  for (uint32_t threads : {2u, 3u, 8u}) {
-    const auto parallel = run(Options(threads, dir, pre_combine));
+  for (uint32_t threads : SweepThreads()) {
+    const auto parallel = run(Options(threads, dir, mode));
     EXPECT_EQ(bench::StatsFingerprint(parallel), serial_print)
+        << "host_threads=" << threads;
+    // The record-stream telemetry is outside the fingerprint by design
+    // (collect-fold-on vs -off runs must stay fingerprint-comparable), so
+    // pin its thread-count determinism here.
+    EXPECT_EQ(parallel.stats.push_records_buffered,
+              serial.stats.push_records_buffered)
+        << "host_threads=" << threads;
+    EXPECT_EQ(parallel.stats.push_record_candidates,
+              serial.stats.push_record_candidates)
         << "host_threads=" << threads;
   }
 }
 
-// Full sweep for one algorithm: every graph case × direction × contract.
+// Full sweep for one algorithm: every graph case × direction × mode.
 template <typename RunFn, typename OracleFn>
 void SweepAlgorithm(const RunFn& run, const OracleFn& check_oracle) {
   for (const GraphCase& c : AllCases()) {
     for (Dir dir : kDirs) {
-      for (bool pre_combine : {false, true}) {
-        SweepCell(c.name, dir, pre_combine,
+      for (Mode mode : kModes) {
+        SweepCell(c.name, dir, mode,
                   [&](const EngineOptions& o) { return run(c.graph, o); },
                   [&](const auto& serial) { check_oracle(c.graph, serial, dir); });
       }
@@ -235,13 +315,14 @@ TEST(DifferentialDeterminismTest, PreCombinedPushBpMatchesOracle) {
   for (uint64_t seed = 1; seed <= 3; ++seed) {
     const Graph g =
         Graph::FromEdges(GenerateUniformRandom(200, 1200, seed), false);
-    const auto r =
-        RunBp(g, 10, MakeK40(), Options(3, Dir::kForcePush, /*pre_combine=*/true));
-    ASSERT_TRUE(r.stats.ok());
-    const std::vector<double> expected = CpuBp(g, 10);
-    for (VertexId v = 0; v < g.vertex_count(); ++v) {
-      EXPECT_NEAR(r.values[v], expected[v], 1e-9) << "seed " << seed
-                                                  << " vertex " << v;
+    for (Mode mode : {Mode::kPreCombine, Mode::kPreCombineCollect}) {
+      const auto r = RunBp(g, 10, MakeK40(), Options(3, Dir::kForcePush, mode));
+      ASSERT_TRUE(r.stats.ok());
+      const std::vector<double> expected = CpuBp(g, 10);
+      for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        EXPECT_NEAR(r.values[v], expected[v], 1e-9)
+            << "seed " << seed << " mode " << Name(mode) << " vertex " << v;
+      }
     }
   }
 }
@@ -251,13 +332,14 @@ TEST(DifferentialDeterminismTest, PreCombinedPushSpmvMatchesOracle) {
     const Graph g =
         Graph::FromEdges(GenerateUniformRandom(200, 1200, seed), false);
     const std::vector<double> x = SpmvInput(g);
-    const auto r = RunSpmv(g, x, MakeK40(),
-                           Options(3, Dir::kForcePush, /*pre_combine=*/true));
-    ASSERT_TRUE(r.stats.ok());
-    const std::vector<double> expected = CpuSpmv(g, x);
-    for (VertexId v = 0; v < g.vertex_count(); ++v) {
-      EXPECT_NEAR(r.values[v].y, expected[v], 1e-9) << "seed " << seed
-                                                    << " vertex " << v;
+    for (Mode mode : {Mode::kPreCombine, Mode::kPreCombineCollect}) {
+      const auto r = RunSpmv(g, x, MakeK40(), Options(3, Dir::kForcePush, mode));
+      ASSERT_TRUE(r.stats.ok());
+      const std::vector<double> expected = CpuSpmv(g, x);
+      for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        EXPECT_NEAR(r.values[v].y, expected[v], 1e-9)
+            << "seed " << seed << " mode " << Name(mode) << " vertex " << v;
+      }
     }
   }
 }
