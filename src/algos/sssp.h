@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/acc.h"
+#include "core/checkpoint.h"
 #include "core/engine.h"
 #include "graph/graph.h"
 
@@ -138,6 +139,46 @@ struct SsspProgram {
                : Direction::kPush;
   }
   bool Converged(const IterationInfo&) const { return false; }
+
+  // Checkpoint hooks (engine.h kHasProgramState): the delta-stepping
+  // scheduler carries cross-iteration state beyond the frontier — the bucket
+  // limit and the ORDERED pending list (its order feeds RefillFrontier,
+  // hence the released-frontier order, hence every downstream stat).
+  // pending_marked_ is a membership mirror rebuilt from the list.
+  void SaveSchedulerState(std::vector<uint8_t>& out) const {
+    ByteWriter w(&out);
+    w.Pod(bucket_limit_);
+    w.Pod(static_cast<uint64_t>(pending_.size()));
+    for (const auto& [v, dist] : pending_) {
+      w.Pod(v);
+      w.Pod(dist);
+    }
+  }
+  bool RestoreSchedulerState(const uint8_t* data, size_t size) const {
+    ByteReader r(data, size);
+    uint64_t count = 0;
+    if (!r.Pod(&bucket_limit_) || !r.Pod(&count) ||
+        count > r.remaining() / (sizeof(VertexId) + sizeof(Value))) {
+      return false;
+    }
+    pending_.clear();
+    pending_marked_.clear();
+    pending_.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      VertexId v = 0;
+      Value dist = 0;
+      r.Pod(&v);
+      if (!r.Pod(&dist)) {
+        return false;
+      }
+      pending_.emplace_back(v, dist);
+      if (v >= pending_marked_.size()) {
+        pending_marked_.resize(static_cast<size_t>(v) + 1024, 0);
+      }
+      pending_marked_[v] = 1;
+    }
+    return r.AtEnd();
+  }
 
  private:
   void Park(VertexId v, Value dist) const {

@@ -30,6 +30,9 @@
 #include <vector>
 
 #include "core/acc.h"
+#include "core/checkpoint.h"
+#include "core/control.h"
+#include "core/fault.h"
 #include "core/fusion.h"
 #include "core/jit.h"
 #include "core/metadata.h"
@@ -129,6 +132,10 @@ class Engine {
   }
 
   RunResult<Value> Run(const Program& program) {
+    return Run(program, RunControl{});
+  }
+
+  RunResult<Value> Run(const Program& program, const RunControl& control) {
     RunResult<Value> result;
     result.stats.device_bytes_needed = DeviceBytesNeeded(program.combine_kind());
     const size_t budget = options_.memory_budget_bytes != 0
@@ -138,6 +145,36 @@ class Engine {
       result.stats.oom = true;
       return result;
     }
+
+    // --- control-plane arming (checkpoint/cancel/fault survivability layer).
+    // Disarmed (the default-constructed RunControl), every hook below
+    // compiles to a branch on a null pointer or false flag — the zero-fault
+    // hot path is unchanged, which bench/fault_sweep gates.
+    control_ = &control;
+    cancel_ = control.cancel;
+    deadline_ms_ = control.time_budget_ms > 0.0
+                       ? NowMs() + control.time_budget_ms
+                       : 0.0;
+    faults_ = control.faults;
+    if (faults_ == nullptr && !options_.fault_spec.empty()) {
+      options_faults_ = FaultRegistry();
+      if (!FaultRegistry::Parse(options_.fault_spec, &options_faults_)) {
+        // A silently dropped fault would turn a crash test into a false pass.
+        std::fprintf(stderr, "simdx: unparseable EngineOptions::fault_spec \"%s\"\n",
+                     options_.fault_spec.c_str());
+        std::abort();
+      }
+      faults_ = &options_faults_;
+    }
+    if (faults_ == nullptr) {
+      faults_ = FaultRegistry::FromEnv();
+    }
+    watch_cancel_ = cancel_ != nullptr || deadline_ms_ > 0.0;
+    control_break_ = false;
+    break_outcome_ = RunOutcome::kCompleted;
+    degrade_shed_fold_ = false;
+    degrade_serial_drain_ = false;
+    run_downgrades_.clear();
 
     const auto n = static_cast<VertexId>(graph_.vertex_count());
     // Associative pre-combining (acc.h CombineCapability): armed per run
@@ -235,7 +272,30 @@ class Engine {
 
     uint64_t refill_words = 0;
     uint32_t iter = 0;
+    if (control.resume != nullptr) {
+      // Restore AFTER the full normal arming above: InitialFrontier() and
+      // the stamp fills have reset every piece of scratch and program state,
+      // so the snapshot overwrites exactly the loop-carried state and
+      // nothing else — the invariant that makes a resumed run bit-identical
+      // to an uninterrupted one.
+      if (!RestoreCheckpoint(*control.resume, program, meta, frontier, jit,
+                             fusion, result.stats, &iter, &prev_dir,
+                             &frontier_sorted, &pending_filter,
+                             &charge_init_scan, &refill_words)) {
+        result.stats.outcome = RunOutcome::kFaulted;
+        result.values.assign(meta.values().begin(), meta.values().end());
+        DisarmControl();
+        return result;
+      }
+      result.stats.resumes += 1;
+      result.stats.resume_iteration = iter;
+    }
     for (; iter < options_.max_iterations; ++iter) {
+      if (IterationControl(iter, program, meta, frontier, jit, fusion,
+                           result.stats, prev_dir, frontier_sorted,
+                           pending_filter, charge_init_scan, refill_words)) {
+        break;
+      }
       if (frontier.empty()) {
         // Programs with deferred work (delta-stepping SSSP) may refill the
         // frontier from their pending buckets; everything else terminates.
@@ -331,6 +391,12 @@ class Engine {
         last_stage_count_ = 3;
       }
 
+      // A mid-stage break (collect/replay/apply fault, cancellation inside a
+      // drain) surfaces here before the filter stage touches shared state.
+      if (StageBreak(FaultPoint::kFrontier)) {
+        break;
+      }
+
       const char filter_char = pending_filter;
       if (static_frontier) {
         // Frontier provably unchanged (e.g. belief propagation: every vertex
@@ -388,11 +454,17 @@ class Engine {
     }
 
     result.stats.iterations = iter;
-    result.stats.converged = iter < options_.max_iterations && !result.stats.failed;
+    result.stats.converged = iter < options_.max_iterations &&
+                             !result.stats.failed && !control_break_;
     result.stats.push_record_candidates = run_record_candidates_;
     result.stats.push_records_buffered = run_records_buffered_;
     result.stats.collect_fold_iterations = run_collect_fold_iterations_;
+    result.stats.outcome = control_break_ ? break_outcome_
+                           : control.resume != nullptr ? RunOutcome::kResumed
+                                                       : RunOutcome::kCompleted;
+    result.stats.downgrades = run_downgrades_;
     result.values.assign(meta.values().begin(), meta.values().end());
+    DisarmControl();
     return result;
   }
 
@@ -670,17 +742,365 @@ class Engine {
         .count();
   }
 
+  // --- control plane: cancellation, deadlines, fault hooks, checkpointing,
+  // graceful degradation (control.h / checkpoint.h / fault.h) ---
+
+  // Programs with scheduler state beyond the frontier (delta-stepping SSSP's
+  // pending buckets) opt into checkpointing it via this hook pair.
+  static constexpr bool kHasProgramState =
+      requires(const Program& p, std::vector<uint8_t>& out, const uint8_t* d,
+               size_t n) {
+        p.SaveSchedulerState(out);
+        { p.RestoreSchedulerState(d, n) } -> std::same_as<bool>;
+      };
+
+  void DisarmControl() {
+    control_ = nullptr;
+    cancel_ = nullptr;
+    faults_ = nullptr;
+    watch_cancel_ = false;
+  }
+
+  // Latches the first cancellation/deadline observation into control_break_.
+  // Only called from the Run thread (iteration boundaries and the
+  // single-threaded drains) — never from pool workers, so no races.
+  bool CancelOrDeadline() {
+    if (control_break_) {
+      return true;
+    }
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      control_break_ = true;
+      break_outcome_ = RunOutcome::kCancelled;
+      return true;
+    }
+    if (deadline_ms_ > 0.0 && NowMs() > deadline_ms_) {
+      control_break_ = true;
+      break_outcome_ = RunOutcome::kDeadlineExceeded;
+      return true;
+    }
+    return false;
+  }
+
+  // Stage-boundary hook compiled into collect/replay/apply/frontier: breaks
+  // on a pending control_break_, an armed stage fault, or cancellation.
+  // Fully disarmed this is two predictable branches — the hooks-overhead
+  // gate bench/fault_sweep measures.
+  bool StageBreak(FaultPoint point) {
+    if (control_break_) {
+      return true;
+    }
+    if (faults_ != nullptr && faults_->ShouldFail(point, stamp_ - 1)) {
+      control_break_ = true;
+      break_outcome_ = RunOutcome::kFaulted;
+      return true;
+    }
+    return watch_cancel_ && CancelOrDeadline();
+  }
+
+  // Graceful-degradation ladder under host memory pressure: shed the
+  // collect-fold tables first (the largest optional allocation), then fall
+  // back to the serial drain (drops the bucket lanes and per-range scratch
+  // growth). Each rung is latched and recorded as a DowngradeEvent instead
+  // of aborting, and every rung is stats-invariant — simulated statistics
+  // are identical on any rung, so the fingerprint oracle holds under
+  // pressure (pinned by tests/core/control_test).
+  void Degrade(uint32_t iteration, const char* trigger) {
+    if (!degrade_shed_fold_) {
+      degrade_shed_fold_ = true;
+      collect_fold_armed_ = false;
+      fold_tables_.clear();
+      fold_tables_.shrink_to_fit();
+      run_downgrades_.push_back(DowngradeEvent{
+          iteration, std::string("shed-collect-fold:") + trigger});
+      return;
+    }
+    if (!degrade_serial_drain_) {
+      degrade_serial_drain_ = true;
+      push_buffers_.clear();
+      push_buffers_.shrink_to_fit();
+      run_downgrades_.push_back(
+          DowngradeEvent{iteration, std::string("serial-drain:") + trigger});
+    }
+  }
+
+  // Runs at the top of every iteration, before any stage: cancellation,
+  // alloc-pressure faults, checkpoint cadence, iteration-start faults.
+  // Returns true when the loop must break (break_outcome_ says why).
+  bool IterationControl(uint32_t iter, const Program& program,
+                        const VertexMeta<Value>& meta,
+                        const std::vector<VertexId>& frontier,
+                        const JitController& jit,
+                        const FusionAccountant& fusion, RunStats& stats,
+                        Direction prev_dir, bool frontier_sorted,
+                        char pending_filter, bool charge_init_scan,
+                        uint64_t refill_words) {
+    if (!watch_cancel_ && faults_ == nullptr &&
+        control_->checkpoint_every == 0) {
+      return false;  // fully disarmed: the zero-cost path
+    }
+    if (CancelOrDeadline()) {
+      return true;
+    }
+    if (faults_ != nullptr &&
+        faults_->ShouldFail(FaultPoint::kAllocPressure, iter)) {
+      // Simulated allocation failure: step the ladder, keep running.
+      Degrade(iter, "fault");
+    }
+    if (control_->checkpoint_every != 0 && control_->on_checkpoint &&
+        iter % control_->checkpoint_every == 0) {
+      if (!WriteCheckpoint(iter, program, meta, frontier, jit, fusion, stats,
+                           prev_dir, frontier_sorted, pending_filter,
+                           charge_init_scan, refill_words)) {
+        control_break_ = true;
+        break_outcome_ = RunOutcome::kFaulted;
+        return true;
+      }
+    }
+    if (faults_ != nullptr &&
+        faults_->ShouldFail(FaultPoint::kIterationStart, iter)) {
+      control_break_ = true;
+      break_outcome_ = RunOutcome::kFaulted;
+      return true;
+    }
+    return false;
+  }
+
+  // Builds, seals and hands out a checkpoint of the iteration-boundary
+  // state. Returns false when an armed checkpoint-write fault fails the
+  // write (→ kFaulted); a corruption-armed fault instead poisons the bytes
+  // silently — the simulated torn write Validate() later catches.
+  bool WriteCheckpoint(uint32_t iter, const Program& program,
+                       const VertexMeta<Value>& meta,
+                       const std::vector<VertexId>& frontier,
+                       const JitController& jit,
+                       const FusionAccountant& fusion, RunStats& stats,
+                       Direction prev_dir, bool frontier_sorted,
+                       char pending_filter, bool charge_init_scan,
+                       uint64_t refill_words) {
+    static_assert(std::is_trivially_copyable_v<Value>,
+                  "checkpointing snapshots raw value bytes");
+    Checkpoint cp;
+    cp.header.options_digest = SemanticOptionsDigest(options_);
+    cp.header.graph_vertices = graph_.vertex_count();
+    cp.header.graph_edges = graph_.edge_count();
+    cp.header.value_size = sizeof(Value);
+    cp.header.iteration = iter;
+    cp.header.contract = static_cast<uint8_t>(stats.contract);
+    {
+      ByteWriter w(&cp.AddSection(CheckpointSectionId::kEngineLoop));
+      w.Pod(static_cast<uint8_t>(prev_dir));
+      w.Pod(static_cast<uint8_t>(frontier_sorted));
+      w.Pod(pending_filter);
+      w.Pod(static_cast<uint8_t>(charge_init_scan));
+      w.Pod(refill_words);
+      w.Pod(run_record_candidates_);
+      w.Pod(run_records_buffered_);
+      w.Pod(run_collect_fold_iterations_);
+      w.Pod(static_cast<uint8_t>(degrade_shed_fold_));
+      w.Pod(static_cast<uint8_t>(degrade_serial_drain_));
+      w.Pod(static_cast<uint64_t>(run_downgrades_.size()));
+      for (const DowngradeEvent& d : run_downgrades_) {
+        w.Pod(d.iteration);
+        w.Str(d.action);
+      }
+      w.Pod(static_cast<uint8_t>(jit.failed()));
+      w.Pod(jit.ballot_iterations());
+      w.Pod(jit.online_iterations());
+      w.Str(jit.pattern());
+      w.Pod(static_cast<uint8_t>(fusion.launched_any()));
+      w.Pod(static_cast<uint8_t>(fusion.last_direction()));
+      w.Pod(fusion.total_launches());
+      w.Pod(fusion.total_barriers());
+    }
+    {
+      ByteWriter w(&cp.AddSection(CheckpointSectionId::kValuesCurr));
+      w.Pod(static_cast<uint64_t>(meta.size()));
+      w.Bytes(meta.values().data(), meta.size() * sizeof(Value));
+    }
+    {
+      ByteWriter w(&cp.AddSection(CheckpointSectionId::kValuesPrev));
+      w.Pod(static_cast<uint64_t>(meta.size()));
+      w.Bytes(meta.prev_values().data(), meta.size() * sizeof(Value));
+    }
+    {
+      ByteWriter w(&cp.AddSection(CheckpointSectionId::kFrontier));
+      w.Pod(static_cast<uint64_t>(frontier.size()));
+      w.Bytes(frontier.data(), frontier.size() * sizeof(VertexId));
+    }
+    {
+      ByteWriter w(&cp.AddSection(CheckpointSectionId::kStats));
+      SerializeRunStats(stats, w);
+    }
+    if constexpr (kHasProgramState) {
+      program.SaveSchedulerState(
+          cp.AddSection(CheckpointSectionId::kProgramState));
+    }
+    cp.Seal();
+    if (faults_ != nullptr) {
+      if (faults_->ShouldFail(FaultPoint::kCheckpointWrite, iter)) {
+        return false;
+      }
+      if (const ArmedFault* corrupt = faults_->TakeCorruption(iter)) {
+        CorruptCheckpointSection(
+            &cp, static_cast<uint32_t>(corrupt->corrupt_section),
+            corrupt->seed);
+      }
+    }
+    stats.checkpoints_written += 1;
+    control_->on_checkpoint(cp);
+    return true;
+  }
+
+  // Restores a checkpoint into the freshly armed run state. Treats the
+  // snapshot as untrusted: CRC validation, header cross-checks and
+  // bounds-checked parses; any mismatch returns false (→ kFaulted), never
+  // UB — the CI ASan+UBSan job drives malformed bytes through this path.
+  bool RestoreCheckpoint(const Checkpoint& cp, const Program& program,
+                         VertexMeta<Value>& meta,
+                         std::vector<VertexId>& frontier, JitController& jit,
+                         FusionAccountant& fusion, RunStats& stats,
+                         uint32_t* iter, Direction* prev_dir,
+                         bool* frontier_sorted, char* pending_filter,
+                         bool* charge_init_scan, uint64_t* refill_words) {
+    if (!cp.Validate(nullptr)) {
+      return false;
+    }
+    const auto n = static_cast<uint64_t>(graph_.vertex_count());
+    if (cp.header.options_digest != SemanticOptionsDigest(options_) ||
+        cp.header.graph_vertices != n ||
+        cp.header.graph_edges != graph_.edge_count() ||
+        cp.header.value_size != sizeof(Value) ||
+        cp.header.contract != static_cast<uint8_t>(stats.contract)) {
+      return false;
+    }
+    const CheckpointSection* loop = cp.Find(CheckpointSectionId::kEngineLoop);
+    const CheckpointSection* curr = cp.Find(CheckpointSectionId::kValuesCurr);
+    const CheckpointSection* prev = cp.Find(CheckpointSectionId::kValuesPrev);
+    const CheckpointSection* front = cp.Find(CheckpointSectionId::kFrontier);
+    const CheckpointSection* stat = cp.Find(CheckpointSectionId::kStats);
+    if (loop == nullptr || curr == nullptr || prev == nullptr ||
+        front == nullptr || stat == nullptr) {
+      return false;
+    }
+    {
+      ByteReader r(loop->bytes);
+      uint8_t dir8 = 0, sorted8 = 0, init8 = 0, shed8 = 0, serial8 = 0;
+      r.Pod(&dir8);
+      r.Pod(&sorted8);
+      r.Pod(pending_filter);
+      r.Pod(&init8);
+      r.Pod(refill_words);
+      r.Pod(&run_record_candidates_);
+      r.Pod(&run_records_buffered_);
+      r.Pod(&run_collect_fold_iterations_);
+      r.Pod(&shed8);
+      r.Pod(&serial8);
+      uint64_t downgrade_count = 0;
+      if (!r.Pod(&downgrade_count) || downgrade_count > loop->bytes.size()) {
+        return false;
+      }
+      run_downgrades_.clear();
+      for (uint64_t i = 0; i < downgrade_count; ++i) {
+        DowngradeEvent d;
+        if (!r.Pod(&d.iteration) || !r.Str(&d.action)) {
+          return false;
+        }
+        run_downgrades_.push_back(std::move(d));
+      }
+      uint8_t jit_failed = 0;
+      uint32_t ballot = 0, online = 0;
+      std::string pattern;
+      r.Pod(&jit_failed);
+      r.Pod(&ballot);
+      r.Pod(&online);
+      r.Str(&pattern);
+      uint8_t launched8 = 0, last_dir8 = 0;
+      uint64_t launches = 0, barriers = 0;
+      r.Pod(&launched8);
+      r.Pod(&last_dir8);
+      r.Pod(&launches);
+      if (!r.Pod(&barriers) || !r.AtEnd() || dir8 > 1 || last_dir8 > 1) {
+        return false;
+      }
+      *prev_dir = static_cast<Direction>(dir8);
+      *frontier_sorted = sorted8 != 0;
+      *charge_init_scan = init8 != 0;
+      degrade_shed_fold_ = shed8 != 0;
+      degrade_serial_drain_ = serial8 != 0;
+      if (degrade_shed_fold_) {
+        // Re-apply the recorded downgrade so the resumed trajectory matches
+        // the interrupted one from the restore point onward.
+        collect_fold_armed_ = false;
+        fold_tables_.clear();
+        fold_tables_.shrink_to_fit();
+      }
+      jit.RestoreHistory(std::move(pattern), ballot, online, jit_failed != 0);
+      fusion.RestoreHistory(launched8 != 0, static_cast<Direction>(last_dir8),
+                            launches, barriers);
+    }
+    {
+      ByteReader rc(curr->bytes);
+      uint64_t curr_count = 0;
+      if (!rc.Pod(&curr_count) || curr_count != n) {
+        return false;
+      }
+      const uint8_t* curr_bytes =
+          rc.Raw(static_cast<size_t>(curr_count) * sizeof(Value));
+      ByteReader rp(prev->bytes);
+      uint64_t prev_count = 0;
+      if (curr_bytes == nullptr || !rp.Pod(&prev_count) || prev_count != n) {
+        return false;
+      }
+      const uint8_t* prev_bytes =
+          rp.Raw(static_cast<size_t>(prev_count) * sizeof(Value));
+      if (prev_bytes == nullptr) {
+        return false;
+      }
+      meta.RestoreSnapshot(curr_bytes, prev_bytes);
+    }
+    {
+      ByteReader r(front->bytes);
+      if (!r.Vec(&frontier) || !r.AtEnd()) {
+        return false;
+      }
+      for (const VertexId v : frontier) {
+        if (static_cast<uint64_t>(v) >= n) {
+          return false;
+        }
+      }
+    }
+    {
+      ByteReader r(stat->bytes);
+      if (!DeserializeRunStats(r, &stats) || !r.AtEnd()) {
+        return false;
+      }
+    }
+    if constexpr (kHasProgramState) {
+      const CheckpointSection* ps =
+          cp.Find(CheckpointSectionId::kProgramState);
+      if (ps == nullptr ||
+          !program.RestoreSchedulerState(ps->bytes.data(), ps->bytes.size())) {
+        return false;
+      }
+    }
+    *iter = cp.header.iteration;
+    return true;
+  }
+
   uint64_t ProcessPush(const Program& program, VertexMeta<Value>& meta,
                        std::span<const WorkListView> views, bool frontier_sorted,
                        uint64_t frontier_out_edges, JitController& jit,
                        CostCounters& cost) {
+    if (StageBreak(FaultPoint::kCollect)) {
+      return 0;
+    }
     // Decide the drain up front: the frontier's out-edge sum (already
     // computed by classification) is exactly the record count a fold-free
     // collect will buffer, so iterations below the threshold skip the
     // bucketing bookkeeping (owner lookups, index appends, span events)
     // entirely and go straight to the serial drain.
     collect_bucketed_ =
-        replay_ranges_ > 1 &&
+        replay_ranges_ > 1 && !degrade_serial_drain_ &&
         frontier_out_edges >= options_.parallel_replay_min_records;
     // Collect-side fold, decided per iteration from simulated statistics
     // only (thread-count independent): skip the fold-table walk when the
@@ -708,9 +1128,23 @@ class Engine {
     for (const WorkListView& view : views) {
       num_buffers += CollectPush(program, meta, view, frontier_sorted, num_buffers);
     }
+    if (StageBreak(FaultPoint::kReplay)) {
+      return 0;
+    }
     const double t_replay = profile ? NowMs() : 0.0;
     const ReplayOutcome outcome =
         ReplayPush(program, meta, num_buffers, jit, cost);
+    // Host-side memory pressure: the record stream outgrew the budget —
+    // step down the degradation ladder instead of aborting (the next
+    // iterations collect leaner; this one already ran to completion, so
+    // simulated stats are untouched).
+    if (options_.host_memory_budget_bytes != 0 &&
+        outcome.buffer_bytes > options_.host_memory_budget_bytes) {
+      Degrade(stamp_ - 1, "budget");
+    }
+    if (StageBreak(FaultPoint::kApply)) {
+      return outcome.edges;
+    }
     run_record_candidates_ += outcome.edges;
     run_records_buffered_ += outcome.buffered;
     run_collect_fold_iterations_ += collect_fold_ ? 1 : 0;
@@ -928,6 +1362,11 @@ class Engine {
                    uint32_t num_buffers, JitController& jit,
                    CostCounters& cost) {
     for (uint32_t b = 0; b < num_buffers; ++b) {
+      // Per-N-chunk cancellation poll (single-threaded drain only — the
+      // partitioned drain's pool workers must not touch control_break_).
+      if (watch_cancel_ && (b & 31u) == 0 && CancelOrDeadline()) {
+        return;
+      }
       const PushBuffer<Value>& buf = push_buffers_[b];
       uint32_t r = 0;
       for (const PushSourceSpan& span : buf.sources()) {
@@ -1103,6 +1542,11 @@ class Engine {
     const bool profile = options_.profile_push_replay;
     const double t0 = profile ? NowMs() : 0.0;
     for (uint32_t b = 0; b < num_buffers; ++b) {
+      // Same per-N-chunk cancellation poll as DrainSerial (this is the
+      // other single-threaded drain).
+      if (watch_cancel_ && (b & 31u) == 0 && CancelOrDeadline()) {
+        return 0;
+      }
       const PushBuffer<Value>& buf = push_buffers_[b];
       for (uint32_t idx = 0; idx < buf.size(); ++idx) {
         FoldRecord(program, buf.dst(idx), buf.worker(idx), buf.cand(idx),
@@ -1586,6 +2030,24 @@ class Engine {
   std::vector<ReplayScratch> replay_scratch_;
   std::vector<size_t> merge_heads_;
   PushReplayProfile profile_;
+  // --- control plane (valid during Run; DisarmControl nulls the pointers).
+  const RunControl* control_ = nullptr;
+  CancelToken* cancel_ = nullptr;
+  double deadline_ms_ = 0.0;  // absolute NowMs()-based; 0 = none
+  FaultRegistry* faults_ = nullptr;
+  // Backing registry when faults come from EngineOptions::fault_spec
+  // (re-parsed each Run so every run gets fresh one-shot faults).
+  FaultRegistry options_faults_;
+  bool watch_cancel_ = false;
+  // Set by the first cancellation/deadline/fault observation; the loop
+  // breaks at the next stage boundary with break_outcome_ as the verdict.
+  bool control_break_ = false;
+  RunOutcome break_outcome_ = RunOutcome::kCompleted;
+  // Degradation-ladder latches (per run, checkpointed so a resumed run
+  // stays on the rung the interrupted one reached).
+  bool degrade_shed_fold_ = false;
+  bool degrade_serial_drain_ = false;
+  std::vector<DowngradeEvent> run_downgrades_;
 };
 
 }  // namespace simdx

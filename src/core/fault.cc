@@ -1,0 +1,176 @@
+#include "core/fault.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/checkpoint.h"
+
+namespace simdx {
+namespace {
+
+struct PointName {
+  const char* name;
+  FaultPoint point;
+};
+
+constexpr PointName kPointNames[] = {
+    {"iteration-start", FaultPoint::kIterationStart},
+    {"collect", FaultPoint::kCollect},
+    {"replay", FaultPoint::kReplay},
+    {"apply", FaultPoint::kApply},
+    {"frontier", FaultPoint::kFrontier},
+    {"checkpoint-write", FaultPoint::kCheckpointWrite},
+    {"alloc-pressure", FaultPoint::kAllocPressure},
+};
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [p, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && p == end && !s.empty();
+}
+
+// Parses one "point@iter[:corrupt=N][:seed=S]" term.
+bool ParseTerm(const std::string& term, ArmedFault* out) {
+  size_t at = term.find('@');
+  if (at == std::string::npos) {
+    return false;
+  }
+  if (!FaultPointFromName(term.substr(0, at), &out->point)) {
+    return false;
+  }
+  std::string rest = term.substr(at + 1);
+  size_t colon = rest.find(':');
+  uint64_t iteration = 0;
+  if (!ParseU64(rest.substr(0, colon), &iteration) ||
+      iteration > UINT32_MAX) {
+    return false;
+  }
+  out->iteration = static_cast<uint32_t>(iteration);
+  while (colon != std::string::npos) {
+    rest = rest.substr(colon + 1);
+    colon = rest.find(':');
+    std::string kv = rest.substr(0, colon);
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return false;
+    }
+    std::string key = kv.substr(0, eq);
+    uint64_t value = 0;
+    if (!ParseU64(kv.substr(eq + 1), &value)) {
+      return false;
+    }
+    if (key == "corrupt") {
+      if (value > INT32_MAX) {
+        return false;
+      }
+      out->corrupt_section = static_cast<int32_t>(value);
+    } else if (key == "seed") {
+      out->seed = value;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ToString(FaultPoint p) {
+  for (const PointName& entry : kPointNames) {
+    if (entry.point == p) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+bool FaultPointFromName(const std::string& name, FaultPoint* out) {
+  for (const PointName& entry : kPointNames) {
+    if (name == entry.name) {
+      *out = entry.point;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultRegistry::ShouldFail(FaultPoint point, uint32_t iteration) {
+  for (ArmedFault& f : faults_) {
+    if (!f.fired && f.point == point && f.iteration == iteration &&
+        f.corrupt_section < 0) {
+      f.fired = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+const ArmedFault* FaultRegistry::TakeCorruption(uint32_t iteration) {
+  for (ArmedFault& f : faults_) {
+    if (!f.fired && f.point == FaultPoint::kCheckpointWrite &&
+        f.iteration == iteration && f.corrupt_section >= 0) {
+      f.fired = true;
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultRegistry::Parse(const std::string& spec, FaultRegistry* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    size_t end = comma == std::string::npos ? spec.size() : comma;
+    ArmedFault fault;
+    if (!ParseTerm(spec.substr(pos, end - pos), &fault)) {
+      return false;
+    }
+    out->Arm(fault);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+  }
+  return true;
+}
+
+FaultRegistry* FaultRegistry::FromEnv() {
+  static FaultRegistry* registry = []() -> FaultRegistry* {
+    const char* spec = std::getenv("SIMDX_FAULTS");
+    if (spec == nullptr || spec[0] == '\0') {
+      return nullptr;
+    }
+    auto* r = new FaultRegistry();
+    if (!FaultRegistry::Parse(spec, r)) {
+      std::fprintf(stderr, "SIMDX_FAULTS: unparseable spec \"%s\"\n", spec);
+      delete r;
+      return nullptr;
+    }
+    return r;
+  }();
+  return registry;
+}
+
+void CorruptCheckpointSection(Checkpoint* checkpoint, uint32_t section_index,
+                              uint64_t seed) {
+  auto& sections = checkpoint->sections();
+  if (sections.empty()) {
+    return;
+  }
+  if (section_index >= sections.size()) {
+    section_index = static_cast<uint32_t>(sections.size() - 1);
+  }
+  std::vector<uint8_t>& bytes = sections[section_index].bytes;
+  if (bytes.empty()) {
+    // An empty payload can't have a byte flipped; poison the CRC instead.
+    sections[section_index].crc ^= 0xDEADBEEFu;
+    return;
+  }
+  // splitmix64 keeps the corrupted byte deterministic in the seed.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  bytes[z % bytes.size()] ^= 0xA5u;
+}
+
+}  // namespace simdx

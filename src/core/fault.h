@@ -1,0 +1,91 @@
+// Deterministic fault injection for the engine's survivability tests.
+//
+// Named fault points are compiled into the engine's collect/replay/apply/
+// frontier/checkpoint stages. Arming is explicit (RunControl::faults, the
+// EngineOptions::fault_spec string, or the SIMDX_FAULTS env var); the
+// disarmed hot path is a single branch on a null registry pointer, which
+// bench/fault_sweep gates at < 1% overhead on push_replay stage timings.
+//
+// Every fault is one-shot: it fires at most once per registry lifetime,
+// modelling "the crash happened once". RobustRun shares one registry across
+// its attempts, so a resumed run sails past the iteration that killed its
+// predecessor — exactly how a real re-execution after a crash behaves.
+#ifndef SIMDX_CORE_FAULT_H_
+#define SIMDX_CORE_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdx {
+
+class Checkpoint;
+
+enum class FaultPoint : uint8_t {
+  kIterationStart = 0,  // top of the iteration loop, after checkpointing
+  kCollect,             // entry of the push collect stage
+  kReplay,              // before the push replay drain
+  kApply,               // after the replay drain, before stat accumulation
+  kFrontier,            // before the filter/frontier-build stage
+  kCheckpointWrite,     // the checkpoint writer itself fails
+  kAllocPressure,       // simulated allocation failure -> degradation ladder
+};
+
+const char* ToString(FaultPoint p);
+// Parses a fault-point name ("collect", "checkpoint-write", ...). Returns
+// false on an unknown name.
+bool FaultPointFromName(const std::string& name, FaultPoint* out);
+
+struct ArmedFault {
+  FaultPoint point = FaultPoint::kIterationStart;
+  uint32_t iteration = 0;
+  // >= 0: instead of failing, silently corrupt this section index of the
+  // checkpoint written at `iteration` (a simulated torn write). Only
+  // meaningful with point == kCheckpointWrite.
+  int32_t corrupt_section = -1;
+  uint64_t seed = 0;  // picks the corrupted byte; keyed so replayable
+  bool fired = false;
+};
+
+class FaultRegistry {
+ public:
+  void Arm(const ArmedFault& fault) { faults_.push_back(fault); }
+  bool empty() const { return faults_.empty(); }
+  void Reset() {
+    for (ArmedFault& f : faults_) {
+      f.fired = false;
+    }
+  }
+
+  // True when an un-fired fault matches (point, iteration); marks it fired.
+  // Corruption-armed checkpoint faults are skipped here — they don't fail
+  // the write, they poison its bytes (see TakeCorruption).
+  bool ShouldFail(FaultPoint point, uint32_t iteration);
+
+  // Returns the un-fired corruption fault armed for the checkpoint written
+  // at `iteration` (marking it fired), or nullptr.
+  const ArmedFault* TakeCorruption(uint32_t iteration);
+
+  // Parses a spec string: comma-separated "point@iter[:corrupt=N][:seed=S]",
+  // e.g. "replay@3,checkpoint-write@5:corrupt=2:seed=7". Appends to `out`;
+  // false on malformed input (out may hold a partial parse).
+  static bool Parse(const std::string& spec, FaultRegistry* out);
+
+  // Registry armed from the SIMDX_FAULTS env var; nullptr when unset or
+  // unparseable. Parsed once per process.
+  static FaultRegistry* FromEnv();
+
+ private:
+  std::vector<ArmedFault> faults_;
+};
+
+// Flips one seed-chosen byte in the chosen section's payload WITHOUT
+// re-sealing, leaving the section CRC stale — the simulated torn write that
+// Checkpoint::Validate later detects. Out-of-range section indices corrupt
+// the last section.
+void CorruptCheckpointSection(Checkpoint* checkpoint, uint32_t section_index,
+                              uint64_t seed);
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_FAULT_H_

@@ -66,6 +66,19 @@ class FusionAccountant {
 
   uint64_t total_launches() const { return total_launches_; }
   uint64_t total_barriers() const { return total_barriers_; }
+  bool launched_any() const { return launched_any_; }
+  Direction last_direction() const { return last_direction_; }
+
+  // Checkpoint restore: selective fusion's launch charge depends on whether
+  // the previous iteration ran the same direction, so a resumed run must
+  // carry this history or its kernel_launches counter diverges.
+  void RestoreHistory(bool launched_any, Direction last_direction,
+                      uint64_t total_launches, uint64_t total_barriers) {
+    launched_any_ = launched_any;
+    last_direction_ = last_direction;
+    total_launches_ = total_launches;
+    total_barriers_ = total_barriers;
+  }
 
  private:
   FusionPolicy policy_;

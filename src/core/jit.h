@@ -68,6 +68,17 @@ class JitController {
   uint32_t ballot_iterations() const { return ballot_iterations_; }
   uint32_t online_iterations() const { return online_iterations_; }
 
+  // Checkpoint restore: the bins are dead at iteration boundaries (Reset at
+  // the end of every BuildNextFrontierInto), so the controller's only
+  // loop-carried state is this history.
+  void RestoreHistory(std::string pattern, uint32_t ballot_iterations,
+                      uint32_t online_iterations, bool failed) {
+    pattern_ = std::move(pattern);
+    ballot_iterations_ = ballot_iterations;
+    online_iterations_ = online_iterations;
+    failed_ = failed;
+  }
+
  private:
   FilterPolicy policy_;
   ThreadBins bins_;

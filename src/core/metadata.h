@@ -20,6 +20,7 @@
 #define SIMDX_CORE_METADATA_H_
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "core/parallel.h"
@@ -66,6 +67,18 @@ class VertexMeta {
   const Value& prev(VertexId v) const { return prev_[v]; }
 
   const NumaVector<Value>& values() const { return curr_; }
+  const NumaVector<Value>& prev_values() const { return prev_; }
+
+  // Checkpoint restore: overwrite both buffers from snapshot bytes. The
+  // caller has size-checked both spans against size() elements; memcpy
+  // because checkpoint section payloads carry no alignment guarantee.
+  void RestoreSnapshot(const void* curr, const void* prev) {
+    if (curr_.empty()) {
+      return;
+    }
+    std::memcpy(curr_.data(), curr, curr_.size() * sizeof(Value));
+    std::memcpy(prev_.data(), prev, prev_.size() * sizeof(Value));
+  }
 
   // Frontier generation committed: from now on "changed" means changed
   // relative to this instant.

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "simt/device.h"
 
@@ -123,6 +124,23 @@ struct EngineOptions {
   // 0 = use the device's global_memory_bytes. Benches shrink this by the
   // preset scale factor so the paper's OOM rows reproduce.
   size_t memory_budget_bytes = 0;
+
+  // HOST-side memory ceiling for the push record stream (bytes of push
+  // buffers per iteration). 0 = unlimited. Exceeding it triggers the
+  // graceful-degradation ladder (engine.h Degrade): shed the collect-fold
+  // tables first, then fall back to the serial drain — each step recorded as
+  // a DowngradeEvent instead of aborting. Simulated stats are invariant to
+  // every rung, so the fingerprint oracle still holds under pressure.
+  // INCLUDED in SemanticOptionsDigest (it steers the run's trajectory).
+  size_t host_memory_budget_bytes = 0;
+
+  // Fault-injection spec parsed by FaultRegistry::Parse and armed for every
+  // Run of this engine ("replay@3,checkpoint-write@5:corrupt=2:seed=7").
+  // Empty = no faults; an unparseable spec aborts loudly at Run entry
+  // (a silently dropped fault would turn a crash test into a false pass).
+  // Excluded from the options digest: arming faults must not invalidate the
+  // checkpoints the faulted run wrote.
+  std::string fault_spec;
 
   // Record a per-iteration log in the result (frontier size, filter chosen,
   // direction, time). Cheap; on by default.

@@ -188,6 +188,17 @@ std::vector<size_t> BalancedRangeBoundaries(
   std::vector<size_t> boundaries(p + 1, n);
   boundaries[0] = 0;
   const uint64_t total = cum(n);
+  if (total == 0) {
+    // Degenerate mass (zero-edge graph, or an empty frontier right at a
+    // checkpoint/resume boundary): every target is 0, so the binary search
+    // would collapse all interior boundaries to 0 and the last range would
+    // own everything. Fall back to an even element split — still sorted,
+    // still covering [0, n).
+    for (uint32_t k = 1; k < p; ++k) {
+      boundaries[k] = n * k / p;
+    }
+    return boundaries;
+  }
   for (uint32_t k = 1; k < p; ++k) {
     // Smallest i with cum(i) >= total * k / parts. The multiply cannot
     // overflow for any graph this simulator holds (edge counts are far below

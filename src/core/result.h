@@ -12,6 +12,40 @@
 
 namespace simdx {
 
+// How a run ended. Anything other than kCompleted/kResumed means the values
+// are a partial state — usable for checkpointing but not an answer.
+enum class RunOutcome : uint8_t {
+  kCompleted = 0,       // ran to convergence (or max_iterations) from scratch
+  kResumed = 1,         // completed after restoring from a checkpoint
+  kCancelled = 2,       // CancelToken observed set
+  kDeadlineExceeded = 3,  // RunControl::time_budget_ms exhausted
+  kFaulted = 4,         // injected fault fired, or a resume source was invalid
+};
+
+inline const char* ToString(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kCompleted:
+      return "completed";
+    case RunOutcome::kResumed:
+      return "resumed";
+    case RunOutcome::kCancelled:
+      return "cancelled";
+    case RunOutcome::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case RunOutcome::kFaulted:
+      return "faulted";
+  }
+  return "?";
+}
+
+// One graceful-degradation step taken mid-run (memory pressure shedding the
+// collect fold, falling back to the serial drain). Recorded instead of
+// aborting; the simulated stats are invariant to every rung of the ladder.
+struct DowngradeEvent {
+  uint32_t iteration = 0;
+  std::string action;
+};
+
 struct IterationLog {
   uint32_t iteration = 0;
   uint64_t frontier_size = 0;
@@ -58,7 +92,21 @@ struct RunStats {
   size_t device_bytes_needed = 0;
   std::vector<IterationLog> iteration_logs;
 
-  bool ok() const { return !oom && !failed; }
+  // --- Control-plane accounting (host-side; NEVER part of the bench
+  // StatsFingerprint — a resumed run must fingerprint-match an uninterrupted
+  // one, and these fields are exactly what differs between the two).
+  RunOutcome outcome = RunOutcome::kCompleted;
+  uint32_t attempts = 1;            // RobustRun: runs launched (1 = no retry)
+  uint32_t resumes = 0;             // successful checkpoint restores
+  uint32_t resume_iteration = 0;    // iteration of the latest restore
+  uint32_t checkpoints_written = 0;
+  std::vector<DowngradeEvent> downgrades;
+
+  bool ok() const {
+    return !oom && !failed &&
+           (outcome == RunOutcome::kCompleted ||
+            outcome == RunOutcome::kResumed);
+  }
 };
 
 template <typename Value>

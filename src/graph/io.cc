@@ -1,39 +1,214 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <array>
+#include <charconv>
 #include <cstring>
 #include <fstream>
-#include <sstream>
+#include <string_view>
 
 namespace simdx {
 namespace {
+
 constexpr std::array<char, 8> kMagic = {'S', 'I', 'M', 'D', 'X', 'E', 'L', '1'};
+
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+// Splits `line` into whitespace-separated tokens, up to 4 (enough to detect
+// "more columns than allowed" without scanning pathological lines forever).
+uint32_t Tokenize(const std::string& line, std::string_view* tokens) {
+  uint32_t count = 0;
+  size_t i = 0;
+  while (i < line.size() && count < 4) {
+    while (i < line.size() && IsSpace(line[i])) {
+      ++i;
+    }
+    if (i >= line.size()) {
+      break;
+    }
+    const size_t begin = i;
+    while (i < line.size() && !IsSpace(line[i])) {
+      ++i;
+    }
+    tokens[count++] = std::string_view(line).substr(begin, i - begin);
+  }
+  return count;
+}
+
+// Strict base-10 unsigned parse: the whole token must be digits. Rejects
+// negatives, '+', hex, junk suffixes — everything istream >> silently
+// accepts or wraps.
+bool ParseU64Token(std::string_view token, uint64_t* out) {
+  if (token.empty()) {
+    return false;
+  }
+  auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                 *out, 10);
+  return ec == std::errc() && p == token.data() + token.size();
+}
+
+IoStatus Fail(IoStatus::Code code, const std::string& path, uint64_t line,
+              std::string detail) {
+  return IoStatus{code, path, line, std::move(detail)};
+}
+
 }  // namespace
 
-std::optional<EdgeList> ReadEdgeListText(const std::string& path) {
+const char* ToString(IoStatus::Code code) {
+  switch (code) {
+    case IoStatus::Code::kOk:
+      return "ok";
+    case IoStatus::Code::kOpenFailed:
+      return "cannot open file";
+    case IoStatus::Code::kBadMagic:
+      return "bad magic (not a simdx binary edge list)";
+    case IoStatus::Code::kTruncated:
+      return "truncated input";
+    case IoStatus::Code::kNonNumeric:
+      return "non-numeric token";
+    case IoStatus::Code::kVertexOutOfRange:
+      return "vertex id out of range";
+    case IoStatus::Code::kWeightOutOfRange:
+      return "weight out of range";
+    case IoStatus::Code::kCountMismatch:
+      return "record count exceeds file size";
+  }
+  return "?";
+}
+
+std::string IoStatus::ToString() const {
+  std::string s = path;
+  if (line != 0) {
+    s += ':';
+    s += std::to_string(line);
+  }
+  s += ": ";
+  s += simdx::ToString(code);
+  if (!detail.empty()) {
+    s += " (";
+    s += detail;
+    s += ')';
+  }
+  return s;
+}
+
+IoStatus ReadEdgeListTextStatus(const std::string& path, EdgeList* out) {
   std::ifstream in(path);
   if (!in) {
-    return std::nullopt;
+    return Fail(IoStatus::Code::kOpenFailed, path, 0, {});
   }
-  EdgeList list;
+  *out = EdgeList();
   std::string line;
+  uint64_t lineno = 0;
+  std::string_view tokens[4];
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#' || line[0] == '%') {
+    ++lineno;
+    const uint32_t count = Tokenize(line, tokens);
+    if (count == 0 || tokens[0][0] == '#' || tokens[0][0] == '%') {
       continue;
     }
-    std::istringstream ls(line);
+    if (count == 1) {
+      return Fail(IoStatus::Code::kTruncated, path, lineno,
+                  "expected 'src dst [weight]', got one column");
+    }
+    if (count > 3) {
+      return Fail(IoStatus::Code::kNonNumeric, path, lineno,
+                  "more than three columns");
+    }
     uint64_t src = 0;
     uint64_t dst = 0;
     uint64_t weight = 1;
-    if (!(ls >> src >> dst)) {
-      return std::nullopt;
+    if (!ParseU64Token(tokens[0], &src)) {
+      return Fail(IoStatus::Code::kNonNumeric, path, lineno,
+                  "src token \"" + std::string(tokens[0]) + "\"");
     }
-    ls >> weight;  // optional third column
-    if (src > kInvalidVertex || dst > kInvalidVertex) {
-      return std::nullopt;
+    if (!ParseU64Token(tokens[1], &dst)) {
+      return Fail(IoStatus::Code::kNonNumeric, path, lineno,
+                  "dst token \"" + std::string(tokens[1]) + "\"");
     }
-    list.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+    if (count == 3 && !ParseU64Token(tokens[2], &weight)) {
+      return Fail(IoStatus::Code::kNonNumeric, path, lineno,
+                  "weight token \"" + std::string(tokens[2]) + "\"");
+    }
+    // >= kInvalidVertex: the sentinel itself must stay unused — ids at the
+    // sentinel would overflow vertex_count = max_id + 1 computations.
+    if (src >= kInvalidVertex || dst >= kInvalidVertex) {
+      return Fail(IoStatus::Code::kVertexOutOfRange, path, lineno,
+                  "id " + std::to_string(std::max(src, dst)));
+    }
+    if (weight > UINT32_MAX) {
+      return Fail(IoStatus::Code::kWeightOutOfRange, path, lineno,
+                  std::to_string(weight));
+    }
+    out->Add(static_cast<VertexId>(src), static_cast<VertexId>(dst),
              static_cast<Weight>(weight));
+  }
+  return IoStatus{};
+}
+
+IoStatus ReadEdgeListBinaryStatus(const std::string& path, EdgeList* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Fail(IoStatus::Code::kOpenFailed, path, 0, {});
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  constexpr uint64_t kHeaderBytes = 8 + sizeof(uint64_t);
+  constexpr uint64_t kRecordBytes = 3 * sizeof(uint32_t);
+  if (file_size < kHeaderBytes) {
+    return Fail(IoStatus::Code::kTruncated, path, file_size,
+                "file smaller than the header");
+  }
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    return Fail(IoStatus::Code::kBadMagic, path, 0, {});
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    return Fail(IoStatus::Code::kTruncated, path, 8, "missing edge count");
+  }
+  // Validate the declared count against the actual byte size BEFORE
+  // reserving: a hostile count must not drive a giant allocation.
+  if (count > (file_size - kHeaderBytes) / kRecordBytes) {
+    return Fail(IoStatus::Code::kCountMismatch, path, kHeaderBytes,
+                std::to_string(count) + " records declared, " +
+                    std::to_string((file_size - kHeaderBytes) / kRecordBytes) +
+                    " fit in the file");
+  }
+  *out = EdgeList();
+  out->Reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t rec[3];
+    in.read(reinterpret_cast<char*>(rec), sizeof(rec));
+    if (!in) {
+      return Fail(IoStatus::Code::kTruncated, path,
+                  kHeaderBytes + i * kRecordBytes, "mid-record end of file");
+    }
+    if (rec[0] >= kInvalidVertex || rec[1] >= kInvalidVertex) {
+      return Fail(IoStatus::Code::kVertexOutOfRange, path,
+                  kHeaderBytes + i * kRecordBytes,
+                  "id " + std::to_string(std::max(rec[0], rec[1])));
+    }
+    out->Add(rec[0], rec[1], rec[2]);
+  }
+  return IoStatus{};
+}
+
+std::optional<EdgeList> ReadEdgeListText(const std::string& path) {
+  EdgeList list;
+  if (!ReadEdgeListTextStatus(path, &list).ok()) {
+    return std::nullopt;
+  }
+  return list;
+}
+
+std::optional<EdgeList> ReadEdgeListBinary(const std::string& path) {
+  EdgeList list;
+  if (!ReadEdgeListBinaryStatus(path, &list).ok()) {
+    return std::nullopt;
   }
   return list;
 }
@@ -48,34 +223,6 @@ bool WriteEdgeListText(const EdgeList& edges, const std::string& path) {
     out << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
   }
   return static_cast<bool>(out);
-}
-
-std::optional<EdgeList> ReadEdgeListBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return std::nullopt;
-  }
-  std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) {
-    return std::nullopt;
-  }
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) {
-    return std::nullopt;
-  }
-  EdgeList list;
-  list.Reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint32_t rec[3];
-    in.read(reinterpret_cast<char*>(rec), sizeof(rec));
-    if (!in) {
-      return std::nullopt;
-    }
-    list.Add(rec[0], rec[1], rec[2]);
-  }
-  return list;
 }
 
 bool WriteEdgeListBinary(const EdgeList& edges, const std::string& path) {

@@ -1,9 +1,16 @@
 // Edge-list IO: whitespace-separated text ("src dst [weight]", '#' comments)
 // and a compact binary container, so examples can persist generated graphs
 // and users can load their own datasets.
+//
+// Ingest treats files as untrusted input: the status-returning readers
+// report WHAT went wrong and WHERE (file, line or byte offset, token)
+// instead of crashing or silently truncating — the error surface the
+// malformed-input test matrix (tests/graph/io_malformed_test) pins. The
+// legacy optional-returning wrappers delegate to them.
 #ifndef SIMDX_GRAPH_IO_H_
 #define SIMDX_GRAPH_IO_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -11,13 +18,49 @@
 
 namespace simdx {
 
-// Returns std::nullopt on open failure or parse error (malformed line).
-std::optional<EdgeList> ReadEdgeListText(const std::string& path);
-bool WriteEdgeListText(const EdgeList& edges, const std::string& path);
+struct IoStatus {
+  enum class Code : uint8_t {
+    kOk = 0,
+    kOpenFailed,        // file missing/unreadable
+    kBadMagic,          // binary container with the wrong magic
+    kTruncated,         // file ended mid-record / line missing a column
+    kNonNumeric,        // text token that is not a base-10 unsigned integer
+    kVertexOutOfRange,  // id >= kInvalidVertex (the reserved sentinel)
+    kWeightOutOfRange,  // weight > uint32 max
+    kCountMismatch,     // binary record count exceeds the file's actual size
+  };
 
+  Code code = Code::kOk;
+  std::string path;
+  // 1-based line number for text input; byte offset for binary input.
+  uint64_t line = 0;
+  std::string detail;
+
+  bool ok() const { return code == Code::kOk; }
+  // "path:line: message" — greppable, editor-clickable context.
+  std::string ToString() const;
+};
+
+const char* ToString(IoStatus::Code code);
+
+// Status-returning readers. On failure `out` may hold a partial parse and
+// must be discarded. Text rules: '#'/'%' comment lines and blank lines are
+// skipped; data lines carry 2 or 3 whitespace-separated base-10 unsigned
+// columns (src dst [weight]); negative numbers, junk tokens, trailing
+// garbage, ids >= kInvalidVertex and weights > uint32 max are errors, never
+// silent wraps.
+IoStatus ReadEdgeListTextStatus(const std::string& path, EdgeList* out);
 // Binary layout: 8-byte magic "SIMDXEL1", uint64 edge count, then packed
 // {uint32 src, uint32 dst, uint32 weight} triples. Little-endian host order.
+// The declared count is validated against the file's byte size BEFORE any
+// allocation, so a hostile count cannot trigger a giant Reserve.
+IoStatus ReadEdgeListBinaryStatus(const std::string& path, EdgeList* out);
+
+// Legacy wrappers: std::nullopt on any failure, context discarded.
+std::optional<EdgeList> ReadEdgeListText(const std::string& path);
 std::optional<EdgeList> ReadEdgeListBinary(const std::string& path);
+
+bool WriteEdgeListText(const EdgeList& edges, const std::string& path);
 bool WriteEdgeListBinary(const EdgeList& edges, const std::string& path);
 
 }  // namespace simdx

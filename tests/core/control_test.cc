@@ -1,0 +1,446 @@
+// Engine control-plane tests: cancellation, deadlines, checkpoint cadence
+// and purity, fault arming, graceful degradation, RobustRun retries, and the
+// resume path's rejection of corrupted/incompatible snapshots. The
+// exhaustive crash-at-every-iteration sweep lives in
+// tests/integration/resume_determinism_test; this file pins the individual
+// control-plane behaviors on small fixed graphs.
+#include "core/control.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algos/bfs.h"
+#include "algos/sssp.h"
+#include "bench/common.h"
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "core/fault.h"
+#include "core/robust.h"
+#include "graph/generators.h"
+#include "simt/device.h"
+
+namespace simdx {
+namespace {
+
+EngineOptions DefaultOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 64;  // small graphs in these tests
+  return o;
+}
+
+Graph ChainGraph() { return Graph::FromEdges(GenerateChain(12), false); }
+
+RunResult<uint32_t> PlainBfs(const Graph& g, const EngineOptions& o) {
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), o);
+  return engine.Run(program);
+}
+
+TEST(ControlTest, PreCancelledTokenStopsAtIterationZero) {
+  const Graph g = ChainGraph();
+  CancelToken cancel;
+  cancel.Cancel();
+  RunControl control;
+  control.cancel = &cancel;
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+  const auto r = engine.Run(program, control);
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kCancelled);
+  EXPECT_FALSE(r.stats.ok());
+  EXPECT_EQ(r.stats.iterations, 0u);
+  EXPECT_FALSE(r.stats.converged);
+  // The values buffer is still handed back: it is the checkpointable state.
+  EXPECT_EQ(r.values.size(), g.vertex_count());
+}
+
+TEST(ControlTest, MidRunCancelStopsAtNextIterationBoundary) {
+  const Graph g = ChainGraph();
+  CancelToken cancel;
+  RunControl control;
+  control.cancel = &cancel;
+  control.checkpoint_every = 1;
+  control.on_checkpoint = [&](const Checkpoint& cp) {
+    if (cp.header.iteration == 3) {
+      cancel.Cancel();
+    }
+  };
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+  const auto r = engine.Run(program, control);
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kCancelled);
+  // Cancelled inside iteration 3's boundary callback. The drain's
+  // cooperative per-chunk poll observes it during iteration 3's own body and
+  // discards that iteration's partial work, so the run ends at exactly the
+  // state the iteration-3 checkpoint captured — never a half-applied
+  // iteration.
+  EXPECT_EQ(r.stats.iterations, 3u);
+}
+
+TEST(ControlTest, TinyDeadlineYieldsDeadlineExceeded) {
+  const Graph g = ChainGraph();
+  RunControl control;
+  control.time_budget_ms = 1e-6;
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+  const auto r = engine.Run(program, control);
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kDeadlineExceeded);
+  EXPECT_FALSE(r.stats.ok());
+  EXPECT_LT(r.stats.iterations, 12u);
+}
+
+TEST(ControlTest, CheckpointingRunIsFingerprintPureAndCountsWrites) {
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 8, 3), false);
+  const auto plain = PlainBfs(g, DefaultOptions());
+  ASSERT_TRUE(plain.stats.ok());
+  EXPECT_EQ(plain.stats.checkpoints_written, 0u);
+
+  uint32_t observed = 0;
+  RunControl control;
+  control.checkpoint_every = 2;
+  control.on_checkpoint = [&](const Checkpoint& cp) {
+    ++observed;
+    EXPECT_TRUE(cp.Validate(nullptr));
+    EXPECT_EQ(cp.header.graph_vertices, g.vertex_count());
+  };
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+  const auto checked = engine.Run(program, control);
+  ASSERT_TRUE(checked.stats.ok());
+  EXPECT_EQ(checked.stats.outcome, RunOutcome::kCompleted);
+  EXPECT_GT(observed, 0u);
+  EXPECT_EQ(checked.stats.checkpoints_written, observed);
+  // Checkpointing must be a pure observer: identical fingerprint (which
+  // excludes the control accounting by design).
+  EXPECT_EQ(bench::StatsFingerprint(checked), bench::StatsFingerprint(plain));
+}
+
+TEST(ControlTest, ResumeFromMidRunCheckpointReproducesFingerprint) {
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 8, 3), false);
+  const auto plain = PlainBfs(g, DefaultOptions());
+  ASSERT_TRUE(plain.stats.ok());
+  ASSERT_GE(plain.stats.iterations, 3u);
+
+  std::vector<Checkpoint> snaps;
+  RunControl writer;
+  writer.checkpoint_every = 1;
+  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  {
+    BfsProgram program;
+    Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+    ASSERT_TRUE(engine.Run(program, writer).stats.ok());
+  }
+  ASSERT_GE(snaps.size(), 3u);
+
+  // Resume from EVERY snapshot (including iteration 0 and the last one
+  // written) into a fresh engine: all must reproduce the fingerprint.
+  for (const Checkpoint& snap : snaps) {
+    RunControl resume;
+    resume.resume = &snap;
+    BfsProgram program;
+    Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+    const auto resumed = engine.Run(program, resume);
+    ASSERT_TRUE(resumed.stats.ok()) << "iteration " << snap.header.iteration;
+    EXPECT_EQ(resumed.stats.outcome, RunOutcome::kResumed);
+    EXPECT_EQ(resumed.stats.resumes, 1u);
+    EXPECT_EQ(resumed.stats.resume_iteration, snap.header.iteration);
+    EXPECT_EQ(bench::StatsFingerprint(resumed), bench::StatsFingerprint(plain))
+        << "iteration " << snap.header.iteration;
+    EXPECT_EQ(resumed.values, plain.values);
+  }
+}
+
+TEST(ControlTest, ResumeAcrossHostThreadCountsReproducesFingerprint) {
+  // The digest excludes host_threads on purpose: a snapshot from a 1-thread
+  // run must restore into a 3-thread engine and vice versa.
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 8, 5), false);
+  EngineOptions serial_opts = DefaultOptions();
+  serial_opts.host_threads = 1;
+  EngineOptions parallel_opts = DefaultOptions();
+  parallel_opts.host_threads = 3;
+  const auto plain = PlainBfs(g, serial_opts);
+  ASSERT_TRUE(plain.stats.ok());
+
+  std::vector<Checkpoint> snaps;
+  RunControl writer;
+  writer.checkpoint_every = 1;
+  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  {
+    BfsProgram program;
+    Engine<BfsProgram> engine(g, MakeK40(), serial_opts);
+    ASSERT_TRUE(engine.Run(program, writer).stats.ok());
+  }
+  ASSERT_GE(snaps.size(), 2u);
+  RunControl resume;
+  resume.resume = &snaps[snaps.size() / 2];
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), parallel_opts);
+  const auto resumed = engine.Run(program, resume);
+  ASSERT_TRUE(resumed.stats.ok());
+  EXPECT_EQ(bench::StatsFingerprint(resumed), bench::StatsFingerprint(plain));
+}
+
+TEST(ControlTest, CorruptedResumeSourceYieldsFaultedNotUb) {
+  const Graph g = ChainGraph();
+  std::vector<Checkpoint> snaps;
+  RunControl writer;
+  writer.checkpoint_every = 1;
+  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  {
+    BfsProgram program;
+    Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+    ASSERT_TRUE(engine.Run(program, writer).stats.ok());
+  }
+  ASSERT_GE(snaps.size(), 3u);
+  // Corrupt every section of a mid-run snapshot in turn: all must be caught
+  // by the CRC and mapped to a clean kFaulted with zero restores.
+  for (uint32_t s = 0; s < snaps[2].sections().size(); ++s) {
+    Checkpoint bad = snaps[2];
+    CorruptCheckpointSection(&bad, s, /*seed=*/s + 1);
+    RunControl resume;
+    resume.resume = &bad;
+    BfsProgram program;
+    Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+    const auto r = engine.Run(program, resume);
+    EXPECT_EQ(r.stats.outcome, RunOutcome::kFaulted) << "section " << s;
+    EXPECT_FALSE(r.stats.ok()) << "section " << s;
+    EXPECT_EQ(r.stats.resumes, 0u) << "section " << s;
+  }
+}
+
+TEST(ControlTest, IncompatibleResumeSourceYieldsFaulted) {
+  const Graph g = ChainGraph();
+  std::vector<Checkpoint> snaps;
+  RunControl writer;
+  writer.checkpoint_every = 1;
+  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  {
+    BfsProgram program;
+    Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+    ASSERT_TRUE(engine.Run(program, writer).stats.ok());
+  }
+  ASSERT_GE(snaps.size(), 2u);
+  RunControl resume;
+  resume.resume = &snaps[1];
+  // A semantically different engine (digest mismatch) must refuse the
+  // snapshot instead of replaying it into a diverging trajectory.
+  EngineOptions other = DefaultOptions();
+  other.overflow_threshold = 128;
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), other);
+  const auto r = engine.Run(program, resume);
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kFaulted);
+  EXPECT_EQ(r.stats.resumes, 0u);
+}
+
+TEST(ControlTest, FaultSpecOptionArmsIterationStartFault) {
+  const Graph g = ChainGraph();
+  EngineOptions o = DefaultOptions();
+  o.fault_spec = "iteration-start@2";
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), o);
+  const auto r = engine.Run(program);
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kFaulted);
+  EXPECT_EQ(r.stats.iterations, 2u);
+  // One-shot: the engine's own registry re-arms per Run... it does NOT —
+  // the spec is parsed fresh each Run, so a second Run faults again.
+  const auto again = engine.Run(program);
+  EXPECT_EQ(again.stats.outcome, RunOutcome::kFaulted);
+}
+
+TEST(ControlTest, MidStageFaultsSurfaceAsFaulted) {
+  const Graph g = ChainGraph();
+  for (const char* spec : {"collect@1", "replay@1", "apply@1", "frontier@1"}) {
+    EngineOptions o = DefaultOptions();
+    o.force_push = true;  // the collect/replay/apply hooks live in push
+    o.fault_spec = spec;
+    BfsProgram program;
+    Engine<BfsProgram> engine(g, MakeK40(), o);
+    const auto r = engine.Run(program);
+    EXPECT_EQ(r.stats.outcome, RunOutcome::kFaulted) << spec;
+    EXPECT_FALSE(r.stats.converged) << spec;
+  }
+}
+
+TEST(ControlTest, CheckpointWriteFaultYieldsFaulted) {
+  const Graph g = ChainGraph();
+  FaultRegistry reg;
+  ASSERT_TRUE(FaultRegistry::Parse("checkpoint-write@2", &reg));
+  RunControl control;
+  control.faults = &reg;
+  control.checkpoint_every = 1;
+  uint32_t observed = 0;
+  control.on_checkpoint = [&](const Checkpoint&) { ++observed; };
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+  const auto r = engine.Run(program, control);
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kFaulted);
+  EXPECT_EQ(observed, 2u);  // iterations 0 and 1 wrote; 2 failed
+}
+
+TEST(ControlTest, AllocPressureFaultStepsDegradationLadderAndCompletes) {
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 8, 3), false);
+  EngineOptions base = DefaultOptions();
+  base.pre_combine_replay = true;
+  base.pre_combine_collect = true;
+  base.pre_combine_collect_min_fold = 0.0;
+  base.parallel_replay_min_records = 0;
+  const auto plain = PlainBfs(g, base);
+  ASSERT_TRUE(plain.stats.ok());
+
+  EngineOptions faulted = base;
+  faulted.fault_spec = "alloc-pressure@1,alloc-pressure@2";
+  const auto degraded = PlainBfs(g, faulted);
+  ASSERT_TRUE(degraded.stats.ok());
+  EXPECT_EQ(degraded.stats.outcome, RunOutcome::kCompleted);
+  ASSERT_EQ(degraded.stats.downgrades.size(), 2u);
+  EXPECT_EQ(degraded.stats.downgrades[0].iteration, 1u);
+  EXPECT_EQ(degraded.stats.downgrades[0].action, "shed-collect-fold:fault");
+  EXPECT_EQ(degraded.stats.downgrades[1].iteration, 2u);
+  EXPECT_EQ(degraded.stats.downgrades[1].action, "serial-drain:fault");
+  // Every rung of the ladder is stats-invariant: identical fingerprint.
+  EXPECT_EQ(bench::StatsFingerprint(degraded), bench::StatsFingerprint(plain));
+}
+
+TEST(ControlTest, HostMemoryBudgetDegradesInsteadOfAborting) {
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 8, 3), false);
+  EngineOptions base = DefaultOptions();
+  base.pre_combine_replay = true;
+  base.pre_combine_collect = true;
+  base.pre_combine_collect_min_fold = 0.0;
+  base.parallel_replay_min_records = 0;
+  base.force_push = true;  // the budget guards the push record stream
+  const auto plain = PlainBfs(g, base);
+  ASSERT_TRUE(plain.stats.ok());
+
+  EngineOptions pressured = base;
+  pressured.host_memory_budget_bytes = 1;  // every push iteration overflows
+  const auto degraded = PlainBfs(g, pressured);
+  ASSERT_TRUE(degraded.stats.ok());
+  EXPECT_EQ(degraded.stats.outcome, RunOutcome::kCompleted);
+  ASSERT_GE(degraded.stats.downgrades.size(), 1u);
+  EXPECT_EQ(degraded.stats.downgrades[0].action, "shed-collect-fold:budget");
+  // host_memory_budget_bytes is in the digest, so compare values + counters
+  // directly rather than resumes: the budget must not change the simulated
+  // trajectory, only the host-side drain machinery.
+  EXPECT_EQ(degraded.values, plain.values);
+  EXPECT_EQ(degraded.stats.counters.coalesced_words,
+            plain.stats.counters.coalesced_words);
+  EXPECT_EQ(degraded.stats.time.cycles, plain.stats.time.cycles);
+  EXPECT_EQ(degraded.stats.filter_pattern, plain.stats.filter_pattern);
+}
+
+TEST(ControlTest, RobustRunRetriesFromCheckpointAndMatchesFingerprint) {
+  const Graph g = Graph::FromEdges(GenerateRmat(7, 8, 3), false);
+  const auto plain = PlainBfs(g, DefaultOptions());
+  ASSERT_TRUE(plain.stats.ok());
+
+  FaultRegistry reg;
+  ASSERT_TRUE(FaultRegistry::Parse("iteration-start@3", &reg));
+  RobustRunOptions opts;
+  opts.checkpoint_every = 1;
+  opts.max_attempts = 2;
+  opts.faults = &reg;
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+  const auto r = RobustRun(engine, program, opts);
+  ASSERT_TRUE(r.stats.ok());
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kResumed);
+  EXPECT_EQ(r.stats.attempts, 2u);
+  EXPECT_EQ(r.stats.resumes, 1u);
+  EXPECT_EQ(r.stats.resume_iteration, 3u);
+  EXPECT_EQ(bench::StatsFingerprint(r), bench::StatsFingerprint(plain));
+  EXPECT_EQ(r.values, plain.values);
+}
+
+TEST(ControlTest, RobustRunGivesUpAfterMaxAttempts) {
+  const Graph g = ChainGraph();
+  FaultRegistry reg;
+  // Three one-shot faults at the same point: both attempts die there.
+  ASSERT_TRUE(FaultRegistry::Parse(
+      "iteration-start@1,iteration-start@1,iteration-start@1", &reg));
+  RobustRunOptions opts;
+  opts.checkpoint_every = 1;
+  opts.max_attempts = 2;
+  opts.faults = &reg;
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+  const auto r = RobustRun(engine, program, opts);
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kFaulted);
+  EXPECT_EQ(r.stats.attempts, 2u);
+  EXPECT_FALSE(r.stats.ok());
+}
+
+TEST(ControlTest, RobustRunConvenienceOverloadCompletesWithoutFaults) {
+  const Graph g = ChainGraph();
+  BfsProgram program;
+  RobustRunOptions opts;
+  opts.checkpoint_every = 2;
+  const auto r = RobustRun(g, MakeK40(), DefaultOptions(), program, opts);
+  ASSERT_TRUE(r.stats.ok());
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(r.stats.attempts, 1u);
+  EXPECT_EQ(r.stats.resumes, 0u);
+}
+
+TEST(ControlTest, ZeroEdgeGraphRunsAndCheckpointsCleanly) {
+  // Five isolated vertices: the degenerate graph the zero-total
+  // BalancedRangeBoundaries fix exists for.
+  const Graph g = Graph::FromEdges(EdgeList{}, false, /*vertex_count=*/5);
+  EngineOptions o = DefaultOptions();
+  o.host_threads = 3;
+  o.parallel_replay_min_records = 0;
+  BfsProgram program;
+  program.source = 2;
+  RunControl control;
+  control.checkpoint_every = 1;
+  uint32_t observed = 0;
+  control.on_checkpoint = [&](const Checkpoint& cp) {
+    ++observed;
+    EXPECT_TRUE(cp.Validate(nullptr));
+  };
+  Engine<BfsProgram> engine(g, MakeK40(), o);
+  const auto r = engine.Run(program, control);
+  ASSERT_TRUE(r.stats.ok());
+  EXPECT_EQ(r.values[2], 0u);
+  EXPECT_GE(observed, 1u);
+}
+
+TEST(ControlTest, SsspSchedulerStateSurvivesResume) {
+  // Delta-stepping SSSP carries pending buckets across iterations; resume
+  // must reproduce them exactly (kProgramState section).
+  const Graph g = Graph::FromEdges(GenerateGridRoad(20, 8, 7), false);
+  EngineOptions o = DefaultOptions();
+  SsspProgram plain_prog;
+  Engine<SsspProgram> plain_engine(g, MakeK40(), o);
+  const auto plain = plain_engine.Run(plain_prog);
+  ASSERT_TRUE(plain.stats.ok());
+  ASSERT_GE(plain.stats.iterations, 4u);
+
+  std::vector<Checkpoint> snaps;
+  RunControl writer;
+  writer.checkpoint_every = 1;
+  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  {
+    SsspProgram program;
+    Engine<SsspProgram> engine(g, MakeK40(), o);
+    ASSERT_TRUE(engine.Run(program, writer).stats.ok());
+  }
+  ASSERT_GE(snaps.size(), 4u);
+  for (const Checkpoint& snap : snaps) {
+    ASSERT_NE(snap.Find(CheckpointSectionId::kProgramState), nullptr);
+    RunControl resume;
+    resume.resume = &snap;
+    SsspProgram program;
+    Engine<SsspProgram> engine(g, MakeK40(), o);
+    const auto resumed = engine.Run(program, resume);
+    ASSERT_TRUE(resumed.stats.ok()) << "iteration " << snap.header.iteration;
+    EXPECT_EQ(bench::StatsFingerprint(resumed), bench::StatsFingerprint(plain))
+        << "iteration " << snap.header.iteration;
+    EXPECT_EQ(resumed.values, plain.values);
+  }
+}
+
+}  // namespace
+}  // namespace simdx

@@ -1118,5 +1118,31 @@ TEST(BalancedRangeBoundariesTest, MorePartsThanElements) {
   }
 }
 
+TEST(BalancedRangeBoundariesTest, ZeroTotalMassSplitsElementsEvenly) {
+  // Zero-edge graph / empty frontier: every cum() is 0, so the binary-search
+  // targets are all 0. The old behavior collapsed every interior boundary to
+  // 0, leaving the LAST range owning all n elements; the fix falls back to
+  // an even element split.
+  const auto b =
+      BalancedRangeBoundaries(100, 4, [](size_t) { return uint64_t{0}; });
+  const std::vector<size_t> expect = {0, 25, 50, 75, 100};
+  EXPECT_EQ(b, expect);
+}
+
+TEST(BalancedRangeBoundariesTest, ZeroElements) {
+  const auto b =
+      BalancedRangeBoundaries(0, 4, [](size_t) { return uint64_t{0}; });
+  const std::vector<size_t> expect = {0, 0, 0, 0, 0};
+  EXPECT_EQ(b, expect);
+}
+
+TEST(PlanChunksTest, ZeroElementsProducesNoChunks) {
+  // Regression: both planners must return chunks == 0 (not a single empty
+  // chunk) for n == 0 — the engine's drains iterate plan.chunks directly.
+  EXPECT_EQ(PlanChunks(0, 8, 64, 512, true).chunks, 0u);
+  EXPECT_EQ(PlanChunks(0, 1, 64, 512, false).chunks, 0u);
+  EXPECT_EQ(PlanChunksStable(0, 1).chunks, 0u);
+}
+
 }  // namespace
 }  // namespace simdx

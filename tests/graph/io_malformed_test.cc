@@ -1,0 +1,207 @@
+// Malformed-input matrix for the typed-status edge-list readers: every
+// rejection class, with the file/line (or byte-offset) context the status
+// carries. The legacy optional-returning wrappers share the same parser, so
+// this matrix is the error-surface contract for both.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "graph/edge_list.h"
+#include "graph/io.h"
+
+namespace simdx {
+namespace {
+
+class IoMalformedTest : public ::testing::Test {
+ protected:
+  std::string Write(const std::string& name, const std::string& content) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "simdx_io_malformed_test";
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / name).string();
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    return path;
+  }
+
+  IoStatus ReadText(const std::string& name, const std::string& content) {
+    EdgeList edges;
+    return ReadEdgeListTextStatus(Write(name, content), &edges);
+  }
+
+  IoStatus ReadBinary(const std::string& name, const std::string& content) {
+    EdgeList edges;
+    return ReadEdgeListBinaryStatus(Write(name, content), &edges);
+  }
+};
+
+TEST_F(IoMalformedTest, MissingFileReportsOpenFailed) {
+  EdgeList edges;
+  const IoStatus s = ReadEdgeListTextStatus("/nonexistent/simdx.txt", &edges);
+  EXPECT_EQ(s.code, IoStatus::Code::kOpenFailed);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.path, "/nonexistent/simdx.txt");
+}
+
+TEST_F(IoMalformedTest, OneColumnLineIsTruncatedWithLineNumber) {
+  const IoStatus s = ReadText("one_col.txt", "0 1\n# fine\n42\n2 3\n");
+  EXPECT_EQ(s.code, IoStatus::Code::kTruncated);
+  EXPECT_EQ(s.line, 3u);  // 1-based, comments counted
+}
+
+TEST_F(IoMalformedTest, FourColumnsRejected) {
+  const IoStatus s = ReadText("four_col.txt", "0 1 2 3\n");
+  EXPECT_EQ(s.code, IoStatus::Code::kNonNumeric);
+  EXPECT_EQ(s.line, 1u);
+}
+
+TEST_F(IoMalformedTest, NonNumericTokensNameTheToken) {
+  {
+    const IoStatus s = ReadText("src.txt", "x 1\n");
+    EXPECT_EQ(s.code, IoStatus::Code::kNonNumeric);
+    EXPECT_NE(s.detail.find("\"x\""), std::string::npos) << s.ToString();
+  }
+  {
+    const IoStatus s = ReadText("dst.txt", "0 1\n5 abc\n");
+    EXPECT_EQ(s.code, IoStatus::Code::kNonNumeric);
+    EXPECT_EQ(s.line, 2u);
+    EXPECT_NE(s.detail.find("\"abc\""), std::string::npos);
+  }
+  {
+    const IoStatus s = ReadText("weight.txt", "0 1 1.5\n");
+    EXPECT_EQ(s.code, IoStatus::Code::kNonNumeric);  // floats are junk here
+  }
+}
+
+TEST_F(IoMalformedTest, NegativeNumbersAreErrorsNotWraps) {
+  // istream >> would wrap -1 to 4294967295; the strict parser refuses.
+  const IoStatus s = ReadText("negative.txt", "0 -1\n");
+  EXPECT_EQ(s.code, IoStatus::Code::kNonNumeric);
+  EXPECT_EQ(s.line, 1u);
+}
+
+TEST_F(IoMalformedTest, SentinelAndBeyondVertexIdsRejected) {
+  const uint64_t sentinel = kInvalidVertex;
+  {
+    const IoStatus s = ReadText(
+        "sentinel.txt", std::to_string(sentinel) + " 1\n");
+    EXPECT_EQ(s.code, IoStatus::Code::kVertexOutOfRange);
+  }
+  {
+    const IoStatus s = ReadText("huge_id.txt", "0 99999999999999999999\n");
+    // 20 digits overflows uint64 → non-numeric by the strict parse.
+    EXPECT_EQ(s.code, IoStatus::Code::kNonNumeric);
+  }
+  {
+    const IoStatus s = ReadText("beyond.txt", "0 4294967296\n");
+    EXPECT_EQ(s.code, IoStatus::Code::kVertexOutOfRange);
+  }
+}
+
+TEST_F(IoMalformedTest, WeightOverflowRejected) {
+  const IoStatus s = ReadText("weight_of.txt", "0 1 4294967296\n");
+  EXPECT_EQ(s.code, IoStatus::Code::kWeightOutOfRange);
+  EXPECT_EQ(s.line, 1u);
+}
+
+TEST_F(IoMalformedTest, ValidTextStillParsesAroundTheMatrix) {
+  EdgeList edges;
+  const IoStatus s = ReadEdgeListTextStatus(
+      Write("good.txt", "# comment\n\n  0\t1 \n1 2 7\r\n% tail comment\n"),
+      &edges);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 1, 1}));
+  EXPECT_EQ(edges[1], (Edge{1, 2, 7}));
+}
+
+// --- binary container ---
+
+std::string BinaryBlob(uint64_t declared_count,
+                       const std::string& records,
+                       const std::string& magic = "SIMDXEL1") {
+  std::string blob = magic;
+  blob.append(reinterpret_cast<const char*>(&declared_count),
+              sizeof(declared_count));
+  blob += records;
+  return blob;
+}
+
+std::string Record(uint32_t src, uint32_t dst, uint32_t weight) {
+  std::string r;
+  r.append(reinterpret_cast<const char*>(&src), 4);
+  r.append(reinterpret_cast<const char*>(&dst), 4);
+  r.append(reinterpret_cast<const char*>(&weight), 4);
+  return r;
+}
+
+TEST_F(IoMalformedTest, BinaryTooSmallForHeader) {
+  const IoStatus s = ReadBinary("tiny.bin", "SIMD");
+  EXPECT_EQ(s.code, IoStatus::Code::kTruncated);
+}
+
+TEST_F(IoMalformedTest, BinaryWrongMagic) {
+  const IoStatus s = ReadBinary("magic.bin", BinaryBlob(0, "", "NOTMAGIC"));
+  EXPECT_EQ(s.code, IoStatus::Code::kBadMagic);
+}
+
+TEST_F(IoMalformedTest, BinaryHostileCountRejectedBeforeAllocation) {
+  // Declares ~10^18 records in a 28-byte file: must fail by arithmetic on
+  // the file size, never by attempting the Reserve.
+  const IoStatus s = ReadBinary(
+      "hostile.bin", BinaryBlob(uint64_t{1} << 60, Record(0, 1, 1)));
+  EXPECT_EQ(s.code, IoStatus::Code::kCountMismatch);
+  EXPECT_EQ(s.line, 16u);  // byte offset of the record area
+}
+
+TEST_F(IoMalformedTest, BinaryTruncatedRecordAreaCaughtByCountCheck) {
+  // Two records declared, the second cut short. The count-vs-file-size
+  // validation (the same arithmetic that defuses hostile counts) catches
+  // this BEFORE any record is read — the mid-record kTruncated path is
+  // defense-in-depth for files shrinking while being read.
+  const std::string records = Record(0, 1, 1) + Record(1, 2, 2);
+  const IoStatus s = ReadBinary(
+      "midrec.bin",
+      BinaryBlob(2, records.substr(0, records.size() - 5)));
+  EXPECT_EQ(s.code, IoStatus::Code::kCountMismatch);
+  EXPECT_EQ(s.line, 16u);  // byte offset of the record area
+  EXPECT_NE(s.detail.find("1 fit"), std::string::npos) << s.ToString();
+}
+
+TEST_F(IoMalformedTest, BinaryOutOfRangeVertexIdReportsOffset) {
+  const IoStatus s = ReadBinary(
+      "bad_id.bin",
+      BinaryBlob(2, Record(0, 1, 1) + Record(kInvalidVertex, 2, 2)));
+  EXPECT_EQ(s.code, IoStatus::Code::kVertexOutOfRange);
+  EXPECT_EQ(s.line, 16u + 12u);
+}
+
+TEST_F(IoMalformedTest, BinaryTrailingBytesBeyondDeclaredCountAreIgnored) {
+  // The count is the contract; trailing bytes (e.g. a future footer) are
+  // not an error.
+  EdgeList edges;
+  const IoStatus s = ReadEdgeListBinaryStatus(
+      Write("trailing.bin", BinaryBlob(1, Record(3, 4, 5) + "extra")), &edges);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], (Edge{3, 4, 5}));
+}
+
+TEST_F(IoMalformedTest, StatusToStringCarriesPathLineAndMessage) {
+  const IoStatus s = ReadText("ctx.txt", "0 1\nbad line here\n");
+  EXPECT_EQ(s.code, IoStatus::Code::kNonNumeric);
+  const std::string printed = s.ToString();
+  EXPECT_NE(printed.find("ctx.txt:2:"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("non-numeric"), std::string::npos) << printed;
+}
+
+TEST_F(IoMalformedTest, LegacyWrappersStillReturnNulloptOnFailure) {
+  const std::string path = Write("legacy.txt", "0 junk\n");
+  EXPECT_FALSE(ReadEdgeListText(path).has_value());
+}
+
+}  // namespace
+}  // namespace simdx
