@@ -14,7 +14,11 @@ namespace simdx::bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseArgs(
+      argc, argv,
+      "Worklist-classification ablation (Sec. 4): small/medium and medium/large\n"
+      "separator sweeps plus a no-classification column.\n"
+      "Table/CSV columns: Graph, one BFS-ms column per separator value, none.\n");
   const DeviceSpec device = MakeK40();
   const std::vector<std::string> graphs =
       args.graphs.empty() ? std::vector<std::string>{"FB", "KR", "OR", "UK", "TW"}

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -14,7 +15,20 @@
 
 namespace simdx::bench {
 
-BenchArgs ParseArgs(int argc, char** argv) {
+namespace {
+
+void PrintUsage(std::ostream& os, const char* argv0) {
+  os << "usage: " << argv0
+     << " [--csv out.csv] [--graphs FB,ER,...] [--quick] [--help]\n"
+        "  --csv <path>    also write the table as CSV (headers + rows)\n"
+        "  --graphs <csv>  comma-separated preset abbrevs (default: all)\n"
+        "  --quick         reduced sweep where the binary supports one\n"
+        "  --help          print this message and the output schema\n";
+}
+
+}  // namespace
+
+BenchArgs ParseArgs(int argc, char** argv, const char* help_schema) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -30,9 +44,16 @@ BenchArgs ParseArgs(int argc, char** argv) {
       }
     } else if (arg == "--quick") {
       args.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout, argv[0]);
+      if (help_schema != nullptr) {
+        std::cout << "\n" << help_schema;
+      }
+      std::exit(0);
     } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--csv out.csv] [--graphs FB,ER,...] [--quick]\n";
+      std::cerr << "unknown flag: " << arg << "\n";
+      PrintUsage(std::cerr, argv[0]);
+      std::exit(2);
     }
   }
   return args;

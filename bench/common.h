@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fingerprint.h"
 #include "core/result.h"
 #include "graph/graph.h"
 #include "graph/presets.h"
@@ -26,7 +27,10 @@ struct BenchArgs {
   bool quick = false;
 };
 
-BenchArgs ParseArgs(int argc, char** argv);
+// help_schema, when given, is printed under the flag list by --help: a short
+// description of the binary plus its table/CSV column schema. --help exits 0;
+// an unknown flag prints the usage to stderr and exits 2.
+BenchArgs ParseArgs(int argc, char** argv, const char* help_schema = nullptr);
 
 // Presets selected by the args (defaults to the paper's 11).
 std::vector<std::string> SelectedPresets(const BenchArgs& args);
@@ -112,46 +116,11 @@ bool SpeedupGateEnabled(uint32_t min_cores);
 // (inputs untouched) when the gate is waived.
 bool ArmSmokeSpeedupGate(std::vector<uint32_t>& threads, uint32_t& repeats);
 
-// The simulated-statistics fingerprint the determinism gates freeze: the
-// stats contract the run was accounted under (leading field — fingerprints
-// recorded under different contracts are DIFFERENT BY DESIGN and must never
-// compare equal), every CostCounters field, the derived times, the
-// filter/direction patterns, and an FNV-1a hash over the raw output-value
-// bytes (a race that corrupts values while leaving every counter intact must
-// still trip the gate). ONE definition on purpose — host_scaling,
-// push_replay and the differential determinism harness must agree on what
-// "identical stats" means or a divergence could pass one gate and fail the
-// other.
-//
-// DELIBERATELY EXCLUDED: the host-side record-stream telemetry
-// (RunStats::push_records_buffered/_candidates/collect_fold_iterations).
-// The collect-side fold's whole job is to shrink the buffered record count
-// while leaving every simulated stat and value byte untouched, so a
-// fold-on run must stay fingerprint-identical to its fold-off sibling —
-// push_replay gates exactly that. The telemetry's own thread-count
-// determinism is pinned separately (parallel_test's ExpectIdenticalRuns and
-// the differential harness).
-template <typename Value>
-std::string StatsFingerprint(const RunResult<Value>& r) {
-  uint64_t values_hash = 1469598103934665603ull;
-  const auto* bytes = reinterpret_cast<const unsigned char*>(r.values.data());
-  for (size_t i = 0; i < r.values.size() * sizeof(Value); ++i) {
-    values_hash = (values_hash ^ bytes[i]) * 1099511628211ull;
-  }
-  std::ostringstream os;
-  const CostCounters& c = r.stats.counters;
-  os.precision(17);
-  os << ToString(r.stats.contract) << '|' << r.stats.iterations << '|'
-     << c.coalesced_words << '|'
-     << c.scattered_words << '|' << c.atomic_ops << '|' << c.atomic_conflicts
-     << '|' << c.alu_ops << '|' << c.kernel_launches << '|'
-     << c.barrier_crossings << '|' << r.stats.time.ms << '|'
-     << r.stats.time.cycles << '|' << r.stats.total_active << '|'
-     << r.stats.total_edges_processed << '|' << r.stats.filter_pattern << '|'
-     << r.stats.direction_pattern << '|' << r.values.size() << '|'
-     << values_hash;
-  return os.str();
-}
+// The ONE stats fingerprint (hoisted to core/fingerprint.h so the resident
+// query service's containment oracle shares the exact definition the bench
+// determinism gates freeze); re-exported here to keep bench call sites and
+// the one-definition discipline unchanged.
+using simdx::StatsFingerprint;
 
 }  // namespace simdx::bench
 

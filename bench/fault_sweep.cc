@@ -90,10 +90,26 @@ Args Parse(int argc, char** argv) {
       args.smoke = true;
       args.scale = 12;  // same smoke scale as push_replay
       args.repeats = 2;
+    } else if (a == "--help" || a == "-h") {
+      std::cout
+          << "usage: " << argv[0]
+          << " [--scale N] [--edge-factor N] [--seed N] [--threads N]"
+             " [--repeats N] [--json out.json] [--smoke]\n\n"
+             "Control-plane overhead + fault-injection recovery sweep on an\n"
+             "RMAT graph. --smoke shrinks the graph and enforces the hook\n"
+             "overhead gate. JSON (stdout, and --json <path>):\n"
+             "{graph: {vertices, edges, rmat_scale, seed}, host_threads,\n"
+             " hook_gate_enforced, runs: [{algo, contract, iterations,\n"
+             "  plain_wall_ms, stage_ms_control_absent, stage_ms_control_inert,\n"
+             "  hook_overhead_ratio, checkpoints, snapshot_bytes,\n"
+             "  serialize_ms_per_iter, checkpointed_wall_ms, restore_ms,\n"
+             "  fault_iteration, recovery_wall_ms, recovery_vs_scratch,\n"
+             "  fingerprints_ok}]}\n";
+      std::exit(0);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--scale N] [--edge-factor N] [--seed N] [--threads N]"
-                   " [--repeats N] [--json out.json] [--smoke]\n";
+                   " [--repeats N] [--json out.json] [--smoke] [--help]\n";
       std::exit(2);
     }
   }
@@ -199,6 +215,7 @@ void Measure(const std::string& algo, const Graph& g, const Program& program,
       serialize_ms += bench::HostNowMs() - t0;
       ++count;
       last_blob = std::move(bytes);
+      return true;
     };
     const double t0 = bench::HostNowMs();
     Engine<Program> engine(g, MakeK40(), options);

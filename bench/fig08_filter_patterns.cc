@@ -44,7 +44,10 @@ std::string ExpectFor(const std::string& algo, const std::string& graph) {
 }
 
 int Main(int argc, char** argv) {
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseArgs(
+      argc, argv,
+      "Figure 8: which filter the JIT controller activates per iteration.\n"
+      "Table/CSV columns: Alg, Graph, Iter, Online, Ballot, Pattern, Expect.\n");
   const DeviceSpec device = MakeK40();
   const EngineOptions options;
 

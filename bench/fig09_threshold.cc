@@ -13,7 +13,12 @@ namespace simdx::bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseArgs(
+      argc, argv,
+      "Figure 9: online-filter overflow-threshold sweep (a) and shadow-recording\n"
+      "overhead while ballot is active (b).\n"
+      "Tables/CSV: sweep = Graph + one BFS-ms column per threshold;\n"
+      "overhead = Graph, SSSP ms, Ballot iters, Shadow cost (ms), Overhead.\n");
   const DeviceSpec device = MakeK40();
   const std::vector<uint32_t> thresholds =
       args.quick ? std::vector<uint32_t>{16, 64, 1024}

@@ -22,7 +22,11 @@ struct Outcome {
 };
 
 int Main(int argc, char** argv) {
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseArgs(
+      argc, argv,
+      "Figure 12: JIT filter selection vs each filter alone, per algorithm.\n"
+      "Table/CSV columns: Graph, Ballot(ms), Online, JIT, JIT speedup,\n"
+      "Online speedup ('x' where online-only overflows).\n");
   const DeviceSpec device = MakeK40();
 
   for (const std::string& algo : {"BFS", "k-Core", "SSSP"}) {

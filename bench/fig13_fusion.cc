@@ -18,7 +18,10 @@ namespace simdx::bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseArgs(
+      argc, argv,
+      "Figure 13: push-pull (selective) fusion vs no fusion and all-fusion.\n"
+      "Table/CSV columns: Graph, NoFusion(ms), AllFusion, PushPull, speedups.\n");
   const DeviceSpec device = MakeK40();
 
   std::vector<double> selective_vs_none_all_algos;

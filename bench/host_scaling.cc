@@ -72,10 +72,22 @@ Args Parse(int argc, char** argv) {
       args.scale = 13;
       args.repeats = 1;
       args.threads = {1, 2};
+    } else if (a == "--help" || a == "-h") {
+      std::cout
+          << "usage: " << argv[0]
+          << " [--scale N] [--edge-factor N] [--threads 1,2,4,8]"
+             " [--repeats N] [--seed N] [--json out.json] [--smoke]\n\n"
+             "Host-thread scaling sweep on an RMAT graph: wall time and\n"
+             "speedup per thread count, with the determinism fingerprint\n"
+             "checked across counts. JSON (stdout, and --json <path>):\n"
+             "{graph: {vertices, edges, ...}, runs: [{algo, host_threads,\n"
+             "  wall_ms, speedup_vs_1t | null}]}\n";
+      std::exit(0);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--scale N] [--edge-factor N] [--threads 1,2,4,8]"
-                   " [--repeats N] [--seed N] [--json out.json] [--smoke]\n";
+                   " [--repeats N] [--seed N] [--json out.json] [--smoke]"
+                   " [--help]\n";
       std::exit(2);
     }
   }

@@ -114,11 +114,24 @@ Args Parse(int argc, char** argv) {
       args.scale = 12;
       args.repeats = 1;
       args.threads = {1, 2};
+    } else if (a == "--help" || a == "-h") {
+      std::cout
+          << "usage: " << argv[0]
+          << " [--scale N] [--edge-factor N] [--threads 1,2,4,8]"
+             " [--repeats N] [--seed N] [--json out.json] [--smoke]"
+             " [--pre-combine] [--pre-combine-collect]\n\n"
+             "Collect-then-replay push-drain profile on an RMAT graph:\n"
+             "per-range and per-iteration replay splits, optionally with\n"
+             "the pre-combining drains. JSON (stdout, and --json <path>):\n"
+             "{graph: {...}, runs: [{algo, host_threads, mode, wall_ms,\n"
+             "  ranges, record counters, range_ms: [...],\n"
+             "  iterations: [{iteration, records, ...}]}]}\n";
+      std::exit(0);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--scale N] [--edge-factor N] [--threads 1,2,4,8]"
                    " [--repeats N] [--seed N] [--json out.json] [--smoke]"
-                   " [--pre-combine] [--pre-combine-collect]\n";
+                   " [--pre-combine] [--pre-combine-collect] [--help]\n";
       std::exit(2);
     }
   }

@@ -1,0 +1,398 @@
+// Open-loop load harness for the resident GraphService: arrivals follow a
+// seeded Poisson schedule at a target rate REGARDLESS of completions (the
+// open-loop discipline — a saturated service keeps receiving work and must
+// shed, not silently queue), mixing all four query kinds from random
+// sources, with an optional fraction of queries armed with per-query fault
+// specs. Emits JSON: latency percentiles, throughput, shed/fault/retry
+// rates, the full service ledger and the shared ThreadPool submission
+// telemetry.
+//
+// --smoke runs a small flood with 10% faults and gates (exit 1) on the
+// ledger accounting identities and a per-kind fingerprint-vs-one-shot
+// oracle sample.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "algos/algos.h"
+#include "common.h"
+#include "core/parallel.h"
+#include "graph/generators.h"
+#include "service/service.h"
+#include "simt/device.h"
+
+namespace simdx::bench {
+namespace {
+
+using service::AdmissionVerdict;
+using service::GraphService;
+using service::Query;
+using service::QueryKind;
+using service::QueryResult;
+using service::ServiceOptions;
+using service::ServiceStats;
+
+struct Args {
+  uint32_t scale = 10;
+  uint32_t edge_factor = 8;
+  uint64_t graph_seed = 3;
+  uint64_t seed = 42;       // arrival schedule + workload mix
+  uint32_t workers = 4;
+  uint32_t queue_capacity = 64;
+  double target_qps = 500.0;
+  uint32_t queries = 400;
+  double fault_rate = 0.0;
+  double deadline_ms = 0.0;  // 0 = no deadline
+  std::string json_path;
+  bool smoke = false;
+};
+
+double ParseDoubleFlag(const std::string& s, const char* flag) {
+  try {
+    return std::stod(s);
+  } catch (...) {
+    std::cerr << flag << ": not a number: " << s << "\n";
+    std::exit(2);
+  }
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--scale" && i + 1 < argc) {
+      args.scale = ParseU32Flag(argv[++i], "--scale");
+    } else if (a == "--edge-factor" && i + 1 < argc) {
+      args.edge_factor = ParseU32Flag(argv[++i], "--edge-factor");
+    } else if (a == "--graph-seed" && i + 1 < argc) {
+      args.graph_seed = ParseU64Flag(argv[++i], "--graph-seed");
+    } else if (a == "--seed" && i + 1 < argc) {
+      args.seed = ParseU64Flag(argv[++i], "--seed");
+    } else if (a == "--workers" && i + 1 < argc) {
+      args.workers = ParseU32Flag(argv[++i], "--workers");
+    } else if (a == "--queue-capacity" && i + 1 < argc) {
+      args.queue_capacity = ParseU32Flag(argv[++i], "--queue-capacity");
+    } else if (a == "--qps" && i + 1 < argc) {
+      args.target_qps = ParseDoubleFlag(argv[++i], "--qps");
+    } else if (a == "--queries" && i + 1 < argc) {
+      args.queries = ParseU32Flag(argv[++i], "--queries");
+    } else if (a == "--fault-rate" && i + 1 < argc) {
+      args.fault_rate = ParseDoubleFlag(argv[++i], "--fault-rate");
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      args.deadline_ms = ParseDoubleFlag(argv[++i], "--deadline-ms");
+    } else if (a == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (a == "--smoke") {
+      args.smoke = true;
+      args.scale = 8;
+      args.queries = 120;
+      args.workers = 3;
+      args.queue_capacity = 48;
+      args.target_qps = 5000.0;  // flood: exercises the queue + ladder
+      args.fault_rate = 0.1;
+    } else if (a == "--help" || a == "-h") {
+      std::cout
+          << "usage: " << argv[0]
+          << " [--scale N] [--edge-factor N] [--graph-seed N] [--seed N]"
+             " [--workers N] [--queue-capacity N] [--qps R] [--queries N]"
+             " [--fault-rate F] [--deadline-ms D] [--json out.json]"
+             " [--smoke]\n\n"
+             "Open-loop QPS load harness for the resident GraphService:\n"
+             "Poisson arrivals at --qps mixing BFS/SSSP/PPR/k-Core queries,\n"
+             "--fault-rate of them armed with per-query fault injection.\n"
+             "--smoke shrinks the run and gates (exit 1) on the ledger\n"
+             "identities and a per-kind one-shot-oracle fingerprint sample.\n"
+             "JSON (stdout, and --json <path>):\n"
+             "{graph: {vertices, edges, rmat_scale, seed},\n"
+             " config: {workers, queue_capacity, target_qps, queries,\n"
+             "  fault_rate, deadline_ms, seed},\n"
+             " wall_ms, throughput_qps, offered_qps,\n"
+             " latency_ms: {p50, p99, max, mean},\n"
+             " rates: {shed, fault, retry},\n"
+             " ledger: {submitted, admitted, shed_queue_full, shed_deadline,\n"
+             "  rejected_invalid, completed, faulted, cancelled,\n"
+             "  deadline_exceeded, sink_failed, retries, expired_in_queue,\n"
+             "  ladder_transitions},\n"
+             " pool: {submits, contended_submits, inline_runs},\n"
+             " ledger_ok, oracle_ok}\n";
+      std::exit(0);
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--scale N] [--edge-factor N] [--graph-seed N]"
+                   " [--seed N] [--workers N] [--queue-capacity N] [--qps R]"
+                   " [--queries N] [--fault-rate F] [--deadline-ms D]"
+                   " [--json out.json] [--smoke] [--help]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+EngineOptions ServiceEngineOptions() {
+  EngineOptions o;
+  o.sim_worker_threads = 64;
+  // Per-query host parallelism: every service worker submits to the shared
+  // ThreadPool::Global(), which is what makes the pool telemetry (and the
+  // contended-submit path) meaningful under concurrent load.
+  o.host_threads = 2;
+  return o;
+}
+
+// Per-kind fingerprint oracle: one clean query through the service must be
+// bit-identical to a one-shot Engine::Run of the same program. Any drift
+// here means the resident arenas leak state between queries.
+bool OracleSampleMatches(const Graph& g, const ServiceOptions& so) {
+  const VertexId hub = DefaultSource(g);
+  GraphService svc(g, so);
+  bool all_ok = true;
+  for (QueryKind kind : {QueryKind::kBfs, QueryKind::kSssp, QueryKind::kPpr,
+                         QueryKind::kKCore}) {
+    Query q;
+    q.kind = kind;
+    q.source = hub;
+    q.k = 3;
+    auto ticket = svc.Submit(q);
+    if (ticket.verdict != AdmissionVerdict::kAdmitted) {
+      std::cerr << "oracle sample: " << ToString(kind) << " not admitted\n";
+      all_ok = false;
+      continue;
+    }
+    const QueryResult r = ticket.result.get();
+    std::string oracle;
+    switch (kind) {
+      case QueryKind::kBfs:
+        oracle = StatsFingerprint(RunBfs(g, hub, so.device, so.engine));
+        break;
+      case QueryKind::kSssp:
+        oracle = StatsFingerprint(RunSssp(g, hub, so.device, so.engine));
+        break;
+      case QueryKind::kPpr:
+        oracle = StatsFingerprint(RunPpr(g, hub, so.device, so.engine));
+        break;
+      case QueryKind::kKCore:
+        oracle = StatsFingerprint(RunKCore(g, q.k, so.device, so.engine));
+        break;
+    }
+    if (!r.ok() || r.fingerprint != oracle) {
+      std::cerr << "oracle sample MISMATCH for " << ToString(kind)
+                << ": outcome=" << ToString(r.outcome) << "\n";
+      all_ok = false;
+    }
+  }
+  svc.Shutdown();
+  return all_ok;
+}
+
+// The accounting identities every drained service must satisfy exactly.
+bool LedgerHolds(const ServiceStats& s) {
+  const uint64_t verdicts = s.admitted + s.shed_queue_full + s.shed_deadline +
+                            s.rejected_invalid;
+  const uint64_t outcomes = s.completed + s.faulted + s.cancelled +
+                            s.deadline_exceeded + s.sink_failed;
+  bool ok = true;
+  if (s.submitted != verdicts) {
+    std::cerr << "LEDGER: submitted=" << s.submitted
+              << " != verdict sum=" << verdicts << "\n";
+    ok = false;
+  }
+  if (s.admitted != outcomes) {
+    std::cerr << "LEDGER: admitted=" << s.admitted
+              << " != outcome sum=" << outcomes << "\n";
+    ok = false;
+  }
+  return ok;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+
+  std::cerr << "building RMAT scale=" << args.scale
+            << " edge_factor=" << args.edge_factor
+            << " seed=" << args.graph_seed << "...\n";
+  const Graph g = Graph::FromEdges(
+      GenerateRmat(args.scale, args.edge_factor, args.graph_seed), false);
+  std::cerr << "graph: " << g.vertex_count() << " vertices, " << g.edge_count()
+            << " edges\n";
+  const VertexId hub = DefaultSource(g);
+
+  ServiceOptions so;
+  so.workers = args.workers;
+  so.queue_capacity = args.queue_capacity;
+  so.engine = ServiceEngineOptions();
+  so.device = MakeK40();
+
+  // ---- deterministic open-loop schedule ----
+  // Exponential inter-arrival gaps (Poisson process) and the workload mix
+  // both come from the one seed, so a rerun offers the identical load.
+  std::mt19937_64 rng(args.seed);
+  std::exponential_distribution<double> gap_s(args.target_qps);
+  struct Planned {
+    Query query;
+    double at_s = 0.0;  // offset from harness start
+    bool armed = false;
+  };
+  std::vector<Planned> plan;
+  plan.reserve(args.queries);
+  double clock_s = 0.0;
+  for (uint32_t i = 0; i < args.queries; ++i) {
+    Planned p;
+    clock_s += gap_s(rng);
+    p.at_s = clock_s;
+    p.query.kind = static_cast<QueryKind>(rng() % 4);
+    p.query.source = static_cast<VertexId>(rng() % g.vertex_count());
+    p.query.k = 2 + static_cast<uint32_t>(rng() % 3);
+    p.query.deadline_ms = args.deadline_ms;
+    const bool armed =
+        args.fault_rate > 0.0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng) < args.fault_rate;
+    if (armed) {
+      // Armed queries start from the hub on a traversal kind so the run has
+      // an iteration 1 for the fault to fire in (an isolated source would
+      // converge at iteration 0 and never fault).
+      constexpr QueryKind kTraversals[] = {QueryKind::kBfs, QueryKind::kSssp,
+                                           QueryKind::kPpr};
+      p.query.kind = kTraversals[rng() % 3];
+      p.query.source = hub;
+      p.query.fault_spec = (rng() % 2) ? "iteration-start@1" : "frontier@1";
+      p.query.max_attempts = (rng() % 2) ? 3 : 1;
+      p.armed = true;
+    }
+    plan.push_back(std::move(p));
+  }
+
+  // ---- drive the load ----
+  GraphService svc(g, so);
+  const auto pool_before = ThreadPool::Global().telemetry();
+  std::vector<GraphService::Ticket> tickets(plan.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const auto due =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(plan[i].at_s));
+    std::this_thread::sleep_until(due);  // open loop: never waits on results
+    tickets[i] = svc.Submit(plan[i].query);
+  }
+  svc.Drain();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  const auto pool_after = ThreadPool::Global().telemetry();
+  const ServiceStats stats = svc.stats();
+
+  // ---- collect results ----
+  std::vector<double> latencies_ms;  // admitted queries that produced answers
+  latencies_ms.reserve(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    if (tickets[i].verdict != AdmissionVerdict::kAdmitted) {
+      continue;
+    }
+    const QueryResult r = tickets[i].result.get();
+    if (r.ok()) {
+      latencies_ms.push_back(r.queue_ms + r.run_ms);
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  double mean_ms = 0.0;
+  for (double l : latencies_ms) {
+    mean_ms += l;
+  }
+  mean_ms = latencies_ms.empty() ? 0.0 : mean_ms / latencies_ms.size();
+
+  const bool ledger_ok = LedgerHolds(stats);
+  const bool oracle_ok = OracleSampleMatches(g, so);
+  svc.Shutdown();
+
+  const double wall_s = wall_ms / 1000.0;
+  const uint64_t sheds = stats.shed_queue_full + stats.shed_deadline;
+  const double shed_rate =
+      stats.submitted ? static_cast<double>(sheds) / stats.submitted : 0.0;
+  const double fault_rate =
+      stats.admitted ? static_cast<double>(stats.faulted) / stats.admitted : 0.0;
+  const double retry_rate =
+      stats.admitted ? static_cast<double>(stats.retries) / stats.admitted : 0.0;
+
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n  \"graph\": {\"vertices\": " << g.vertex_count()
+       << ", \"edges\": " << g.edge_count()
+       << ", \"rmat_scale\": " << args.scale << ", \"seed\": " << args.graph_seed
+       << "},\n  \"config\": {\"workers\": " << args.workers
+       << ", \"queue_capacity\": " << args.queue_capacity
+       << ", \"target_qps\": " << args.target_qps
+       << ", \"queries\": " << args.queries
+       << ", \"fault_rate\": " << args.fault_rate
+       << ", \"deadline_ms\": " << args.deadline_ms
+       << ", \"seed\": " << args.seed
+       << "},\n  \"wall_ms\": " << wall_ms
+       << ",\n  \"throughput_qps\": "
+       << (wall_s > 0 ? stats.completed / wall_s : 0.0)
+       << ",\n  \"offered_qps\": "
+       << (wall_s > 0 ? stats.submitted / wall_s : 0.0)
+       << ",\n  \"latency_ms\": {\"p50\": " << Percentile(latencies_ms, 0.50)
+       << ", \"p99\": " << Percentile(latencies_ms, 0.99)
+       << ", \"max\": " << (latencies_ms.empty() ? 0.0 : latencies_ms.back())
+       << ", \"mean\": " << mean_ms
+       << "},\n  \"rates\": {\"shed\": " << shed_rate
+       << ", \"fault\": " << fault_rate << ", \"retry\": " << retry_rate
+       << "},\n  \"ledger\": {\"submitted\": " << stats.submitted
+       << ", \"admitted\": " << stats.admitted
+       << ", \"shed_queue_full\": " << stats.shed_queue_full
+       << ", \"shed_deadline\": " << stats.shed_deadline
+       << ", \"rejected_invalid\": " << stats.rejected_invalid
+       << ", \"completed\": " << stats.completed
+       << ", \"faulted\": " << stats.faulted
+       << ", \"cancelled\": " << stats.cancelled
+       << ", \"deadline_exceeded\": " << stats.deadline_exceeded
+       << ", \"sink_failed\": " << stats.sink_failed
+       << ", \"retries\": " << stats.retries
+       << ", \"expired_in_queue\": " << stats.expired_in_queue
+       << ", \"ladder_transitions\": " << stats.ladder.size()
+       << "},\n  \"pool\": {\"submits\": "
+       << (pool_after.submits - pool_before.submits)
+       << ", \"contended_submits\": "
+       << (pool_after.contended_submits - pool_before.contended_submits)
+       << ", \"inline_runs\": "
+       << (pool_after.inline_runs - pool_before.inline_runs)
+       << "},\n  \"ledger_ok\": " << (ledger_ok ? "true" : "false")
+       << ",\n  \"oracle_ok\": " << (oracle_ok ? "true" : "false") << "\n}\n";
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << json.str();
+    std::cerr << "wrote " << args.json_path << "\n";
+  }
+  std::cout << json.str();
+
+  if (args.smoke) {
+    if (!ledger_ok || !oracle_ok) {
+      std::cerr << "SMOKE FAIL: ledger_ok=" << ledger_ok
+                << " oracle_ok=" << oracle_ok << "\n";
+      return 1;
+    }
+    std::cerr << "smoke OK\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace simdx::bench
+
+int main(int argc, char** argv) { return simdx::bench::Main(argc, argv); }

@@ -17,7 +17,11 @@ namespace simdx::bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseArgs(
+      argc, argv,
+      "Section 7.3: cross-GPU scaling for SIMD-X and the two GPU baselines.\n"
+      "Table/CSV columns: System, Graph, K20(ms), K40(ms), P100(ms),\n"
+      "K40/K20, P100/K20.\n");
   const std::vector<DeviceSpec> devices = {MakeK20(), MakeK40(), MakeP100()};
 
   Table table({"System", "Graph", "K20(ms)", "K40(ms)", "P100(ms)", "K40/K20",

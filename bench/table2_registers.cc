@@ -15,7 +15,11 @@ namespace simdx::bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseArgs(
+      argc, argv,
+      "Table 2: per-kernel registers under each fusion strategy + launch counts.\n"
+      "Tables/CSV: registers = Kernel, Registers, Eq.1 grid (K40), Occupancy;\n"
+      "launches = Graph, Iterations, No fusion, Selective, All fusion.\n");
   const DeviceSpec device = MakeK40();
 
   // --- register consumption (model values = the paper's nvcc measurements)

@@ -40,7 +40,12 @@ struct SystemRows {
 };
 
 int Main(int argc, char** argv) {
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseArgs(
+      argc, argv,
+      "Table 4: SIMD-X vs GPU (CuSha-, Gunrock-like) and CPU (Galois-,\n"
+      "Ligra-like) baselines for BFS/PageRank/SSSP/k-Core; '-' marks modelled\n"
+      "OOM/failure rows.\n"
+      "Table/CSV columns: Graph, then one ms column per system.\n");
   const DeviceSpec device = MakeK40();
   const size_t gpu_budget = ScaledMemoryBudget(device);
   const std::vector<std::string> graphs = SelectedPresets(args);

@@ -27,6 +27,17 @@ RunResult<PageRankValue> RunPageRank(const Graph& g, const DeviceSpec& device,
   return engine.Run(program);
 }
 
+RunResult<PageRankValue> RunPpr(const Graph& g, VertexId source,
+                                const DeviceSpec& device,
+                                const EngineOptions& options, double epsilon) {
+  PprProgram program;
+  program.graph = &g;
+  program.source = source;
+  program.epsilon = epsilon;
+  Engine<PprProgram> engine(g, device, options);
+  return engine.Run(program);
+}
+
 RunResult<KCoreValue> RunKCore(const Graph& g, uint32_t k, const DeviceSpec& device,
                                const EngineOptions& options) {
   KCoreProgram program;

@@ -12,6 +12,7 @@
 #include "algos/bp.h"
 #include "algos/kcore.h"
 #include "algos/pagerank.h"
+#include "algos/ppr.h"
 #include "algos/spmv.h"
 #include "algos/sssp.h"
 #include "algos/wcc.h"
@@ -22,6 +23,7 @@ namespace simdx {
 static_assert(AccProgram<BfsProgram>);
 static_assert(AccProgram<SsspProgram>);
 static_assert(AccProgram<PageRankProgram>);
+static_assert(AccProgram<PprProgram>);
 static_assert(AccProgram<KCoreProgram>);
 static_assert(AccProgram<BpProgram>);
 static_assert(AccProgram<WccProgram>);
@@ -34,6 +36,10 @@ RunResult<uint32_t> RunSssp(const Graph& g, VertexId source,
 RunResult<PageRankValue> RunPageRank(const Graph& g, const DeviceSpec& device,
                                      const EngineOptions& options,
                                      double epsilon = 1e-9);
+RunResult<PageRankValue> RunPpr(const Graph& g, VertexId source,
+                                const DeviceSpec& device,
+                                const EngineOptions& options,
+                                double epsilon = 1e-9);
 RunResult<KCoreValue> RunKCore(const Graph& g, uint32_t k, const DeviceSpec& device,
                                const EngineOptions& options);
 RunResult<double> RunBp(const Graph& g, uint32_t rounds, const DeviceSpec& device,

@@ -1,0 +1,94 @@
+// Personalized PageRank in ACC — the same Maiter-style residual-accumulation
+// scheme as algos/pagerank.h, but with the teleport mass concentrated on one
+// source vertex instead of spread uniformly: the residual is seeded as
+// (1-d) at `source` and 0 everywhere else, so the fixpoint is
+// rank = (1-d) * sum_k (d M)^k e_source — the solution of
+// p = (1-d) e_s + d M p, i.e. the standard PPR vector with restart
+// probability (1-d).
+//
+// This is the service's "from an arbitrary source" ranking query: unlike
+// global PageRank, which touches every vertex from iteration 0, a PPR run
+// starts from a single-vertex frontier and grows outward — the per-query
+// cost tracks the source's neighborhood, not the graph.
+#ifndef SIMDX_ALGOS_PPR_H_
+#define SIMDX_ALGOS_PPR_H_
+
+#include <cmath>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "core/acc.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace simdx {
+
+struct PprProgram {
+  // Same (rank, residual) pair as global PageRank: the propagation algebra
+  // is identical, only the seeding differs.
+  using Value = PageRankValue;
+
+  const Graph* graph = nullptr;
+  VertexId source = 0;
+  double damping = 0.85;
+  double epsilon = 1e-9;
+  uint64_t push_divisor = 5;
+
+  CombineKind combine_kind() const { return CombineKind::kAggregation; }
+  CombineCapability combine_capability() const {
+    return CombineCapability::kAssociativeOnly;
+  }
+
+  Value InitValue(VertexId v) const {
+    const double seed = v == source ? 1.0 - damping : 0.0;
+    return Value{seed, seed};
+  }
+  std::vector<VertexId> InitialFrontier() const { return {source}; }
+
+  bool Active(const Value& curr, const Value& /*prev*/) const {
+    return curr.residual > epsilon;
+  }
+
+  Value Compute(VertexId src, VertexId /*dst*/, Weight /*w*/,
+                const Value& src_value, Direction /*dir*/) const {
+    const uint32_t degree = graph->OutDegree(src);
+    if (degree == 0) {
+      return Value{0.0, 0.0};
+    }
+    const double share = damping * src_value.residual / degree;
+    return Value{0.0, share};
+  }
+  Value Combine(const Value& a, const Value& b) const {
+    return Value{0.0, a.residual + b.residual};
+  }
+  Value CombineIdentity() const { return Value{0.0, 0.0}; }
+  Value Apply(VertexId /*v*/, const Value& combined, const Value& old,
+              Direction /*dir*/) const {
+    return Value{old.rank + combined.residual, old.residual + combined.residual};
+  }
+  bool ValueChanged(const Value& before, const Value& after) const {
+    return std::abs(after.residual - before.residual) > 1e-15 ||
+           std::abs(after.rank - before.rank) > 1e-15;
+  }
+
+  Value ConsumeActivity(const Value& curr, const Value& prev,
+                        Direction /*dir*/) const {
+    return Value{curr.rank, curr.residual - prev.residual};
+  }
+
+  bool PullSkip(const Value&) const { return false; }
+  bool PullContributes(const Value& u_value) const {
+    return u_value.residual > epsilon;
+  }
+
+  Direction ChooseDirection(const IterationInfo& info) const {
+    return info.frontier_size < info.vertex_count / push_divisor
+               ? Direction::kPush
+               : Direction::kPull;
+  }
+  bool Converged(const IterationInfo&) const { return false; }
+};
+
+}  // namespace simdx
+
+#endif  // SIMDX_ALGOS_PPR_H_

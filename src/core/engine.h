@@ -158,10 +158,13 @@ class Engine {
     faults_ = control.faults;
     if (faults_ == nullptr && !options_.fault_spec.empty()) {
       options_faults_ = FaultRegistry();
-      if (!FaultRegistry::Parse(options_.fault_spec, &options_faults_)) {
+      std::string fault_error;
+      if (!FaultRegistry::Parse(options_.fault_spec, &options_faults_,
+                                &fault_error)) {
         // A silently dropped fault would turn a crash test into a false pass.
-        std::fprintf(stderr, "simdx: unparseable EngineOptions::fault_spec \"%s\"\n",
-                     options_.fault_spec.c_str());
+        std::fprintf(stderr,
+                     "simdx: unparseable EngineOptions::fault_spec \"%s\": %s\n",
+                     options_.fault_spec.c_str(), fault_error.c_str());
         std::abort();
       }
       faults_ = &options_faults_;
@@ -851,8 +854,10 @@ class Engine {
       if (!WriteCheckpoint(iter, program, meta, frontier, jit, fusion, stats,
                            prev_dir, frontier_sorted, pending_filter,
                            charge_init_scan, refill_words)) {
+        // WriteCheckpoint set break_outcome_: kFaulted for an injected write
+        // fault, kCheckpointSinkFailed when the caller's sink refused the
+        // bytes.
         control_break_ = true;
-        break_outcome_ = RunOutcome::kFaulted;
         return true;
       }
     }
@@ -866,9 +871,11 @@ class Engine {
   }
 
   // Builds, seals and hands out a checkpoint of the iteration-boundary
-  // state. Returns false when an armed checkpoint-write fault fails the
-  // write (→ kFaulted); a corruption-armed fault instead poisons the bytes
-  // silently — the simulated torn write Validate() later catches.
+  // state. Returns false — with break_outcome_ set — when an armed
+  // checkpoint-write fault fails the write (→ kFaulted) or the caller-owned
+  // sink reports a persistence failure (→ kCheckpointSinkFailed); a
+  // corruption-armed fault instead poisons the bytes silently — the
+  // simulated torn write Validate() later catches.
   bool WriteCheckpoint(uint32_t iter, const Program& program,
                        const VertexMeta<Value>& meta,
                        const std::vector<VertexId>& frontier,
@@ -938,6 +945,7 @@ class Engine {
     cp.Seal();
     if (faults_ != nullptr) {
       if (faults_->ShouldFail(FaultPoint::kCheckpointWrite, iter)) {
+        break_outcome_ = RunOutcome::kFaulted;
         return false;
       }
       if (const ArmedFault* corrupt = faults_->TakeCorruption(iter)) {
@@ -946,8 +954,14 @@ class Engine {
             corrupt->seed);
       }
     }
+    if (!control_->on_checkpoint(cp)) {
+      // The sink could not persist the snapshot. The failed write is not
+      // counted: checkpoints_written is the number of snapshots the caller
+      // actually holds.
+      break_outcome_ = RunOutcome::kCheckpointSinkFailed;
+      return false;
+    }
     stats.checkpoints_written += 1;
-    control_->on_checkpoint(cp);
     return true;
   }
 

@@ -1,8 +1,10 @@
 #include "core/fault.h"
 
+#include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "core/checkpoint.h"
 
@@ -31,13 +33,23 @@ bool ParseU64(const std::string& s, uint64_t* out) {
   return ec == std::errc() && p == end && !s.empty();
 }
 
+void SetError(std::string* error, const std::string& term,
+              const std::string& reason) {
+  if (error != nullptr) {
+    *error = "bad fault term \"" + term + "\": " + reason;
+  }
+}
+
 // Parses one "point@iter[:corrupt=N][:seed=S]" term.
-bool ParseTerm(const std::string& term, ArmedFault* out) {
+bool ParseTerm(const std::string& term, ArmedFault* out, std::string* error) {
   size_t at = term.find('@');
   if (at == std::string::npos) {
+    SetError(error, term, "missing '@iteration'");
     return false;
   }
   if (!FaultPointFromName(term.substr(0, at), &out->point)) {
+    SetError(error, term,
+             "unknown fault point \"" + term.substr(0, at) + "\"");
     return false;
   }
   std::string rest = term.substr(at + 1);
@@ -45,6 +57,7 @@ bool ParseTerm(const std::string& term, ArmedFault* out) {
   uint64_t iteration = 0;
   if (!ParseU64(rest.substr(0, colon), &iteration) ||
       iteration > UINT32_MAX) {
+    SetError(error, term, "iteration is not a number");
     return false;
   }
   out->iteration = static_cast<uint32_t>(iteration);
@@ -54,21 +67,25 @@ bool ParseTerm(const std::string& term, ArmedFault* out) {
     std::string kv = rest.substr(0, colon);
     size_t eq = kv.find('=');
     if (eq == std::string::npos) {
+      SetError(error, term, "option \"" + kv + "\" is missing '='");
       return false;
     }
     std::string key = kv.substr(0, eq);
     uint64_t value = 0;
     if (!ParseU64(kv.substr(eq + 1), &value)) {
+      SetError(error, term, "option \"" + key + "\" value is not a number");
       return false;
     }
     if (key == "corrupt") {
       if (value > INT32_MAX) {
+        SetError(error, term, "corrupt section index out of range");
         return false;
       }
       out->corrupt_section = static_cast<int32_t>(value);
     } else if (key == "seed") {
       out->seed = value;
     } else {
+      SetError(error, term, "unknown option \"" + key + "\"");
       return false;
     }
   }
@@ -88,7 +105,14 @@ const char* ToString(FaultPoint p) {
 
 bool FaultPointFromName(const std::string& name, FaultPoint* out) {
   for (const PointName& entry : kPointNames) {
-    if (name == entry.name) {
+    const char* p = entry.name;
+    size_t i = 0;
+    for (; i < name.size() && p[i] != '\0'; ++i) {
+      if (std::tolower(static_cast<unsigned char>(name[i])) != p[i]) {
+        break;
+      }
+    }
+    if (i == name.size() && p[i] == '\0' && !name.empty()) {
       *out = entry.point;
       return true;
     }
@@ -97,6 +121,7 @@ bool FaultPointFromName(const std::string& name, FaultPoint* out) {
 }
 
 bool FaultRegistry::ShouldFail(FaultPoint point, uint32_t iteration) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (ArmedFault& f : faults_) {
     if (!f.fired && f.point == point && f.iteration == iteration &&
         f.corrupt_section < 0) {
@@ -108,6 +133,7 @@ bool FaultRegistry::ShouldFail(FaultPoint point, uint32_t iteration) {
 }
 
 const ArmedFault* FaultRegistry::TakeCorruption(uint32_t iteration) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (ArmedFault& f : faults_) {
     if (!f.fired && f.point == FaultPoint::kCheckpointWrite &&
         f.iteration == iteration && f.corrupt_section >= 0) {
@@ -118,17 +144,33 @@ const ArmedFault* FaultRegistry::TakeCorruption(uint32_t iteration) {
   return nullptr;
 }
 
-bool FaultRegistry::Parse(const std::string& spec, FaultRegistry* out) {
+bool FaultRegistry::Parse(const std::string& spec, FaultRegistry* out,
+                          std::string* error) {
+  std::vector<ArmedFault> parsed;
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
     size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string term = spec.substr(pos, end - pos);
     ArmedFault fault;
-    if (!ParseTerm(spec.substr(pos, end - pos), &fault)) {
+    if (!ParseTerm(term, &fault, error)) {
       return false;
     }
-    out->Arm(fault);
+    for (const ArmedFault& prior : parsed) {
+      if (prior.point == fault.point && prior.iteration == fault.iteration) {
+        std::ostringstream reason;
+        reason << "duplicate fault point " << ToString(fault.point) << "@"
+               << fault.iteration
+               << " (each point@iteration may be armed once per spec)";
+        SetError(error, term, reason.str());
+        return false;
+      }
+    }
+    parsed.push_back(fault);
     pos = comma == std::string::npos ? spec.size() : comma + 1;
+  }
+  for (const ArmedFault& fault : parsed) {
+    out->Arm(fault);
   }
   return true;
 }
@@ -140,8 +182,10 @@ FaultRegistry* FaultRegistry::FromEnv() {
       return nullptr;
     }
     auto* r = new FaultRegistry();
-    if (!FaultRegistry::Parse(spec, r)) {
-      std::fprintf(stderr, "SIMDX_FAULTS: unparseable spec \"%s\"\n", spec);
+    std::string error;
+    if (!FaultRegistry::Parse(spec, r, &error)) {
+      std::fprintf(stderr, "SIMDX_FAULTS: unparseable spec \"%s\": %s\n", spec,
+                   error.c_str());
       delete r;
       return nullptr;
     }

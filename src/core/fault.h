@@ -14,6 +14,7 @@
 #define SIMDX_CORE_FAULT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,9 @@ enum class FaultPoint : uint8_t {
 };
 
 const char* ToString(FaultPoint p);
-// Parses a fault-point name ("collect", "checkpoint-write", ...). Returns
-// false on an unknown name.
+// Parses a fault-point name ("collect", "checkpoint-write", ...),
+// case-insensitively ("Collect", "CHECKPOINT-WRITE" are the same points).
+// Returns false on an unknown name.
 bool FaultPointFromName(const std::string& name, FaultPoint* out);
 
 struct ArmedFault {
@@ -47,11 +49,36 @@ struct ArmedFault {
   bool fired = false;
 };
 
+// One-shot fault registry. Arm/Parse happen at setup time from one thread;
+// ShouldFail/TakeCorruption/Reset are mutex-guarded so a registry may be
+// consulted by several concurrently running engines (the resident service
+// shares the SIMDX_FAULTS env registry across in-flight queries — the first
+// query through the armed point takes the fault, everyone else sails on).
 class FaultRegistry {
  public:
-  void Arm(const ArmedFault& fault) { faults_.push_back(fault); }
-  bool empty() const { return faults_.empty(); }
+  FaultRegistry() = default;
+  // Copying snapshots the armed faults (including fired flags); the mutex is
+  // per-instance, never shared.
+  FaultRegistry(const FaultRegistry& other) : faults_(other.Snapshot()) {}
+  FaultRegistry& operator=(const FaultRegistry& other) {
+    if (this != &other) {
+      std::vector<ArmedFault> copy = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      faults_ = std::move(copy);
+    }
+    return *this;
+  }
+
+  void Arm(const ArmedFault& fault) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.push_back(fault);
+  }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_.empty();
+  }
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (ArmedFault& f : faults_) {
       f.fired = false;
     }
@@ -63,19 +90,32 @@ class FaultRegistry {
   bool ShouldFail(FaultPoint point, uint32_t iteration);
 
   // Returns the un-fired corruption fault armed for the checkpoint written
-  // at `iteration` (marking it fired), or nullptr.
+  // at `iteration` (marking it fired), or nullptr. The pointee is stable:
+  // arming is done before engines run, so the vector never reallocates
+  // underneath a consult.
   const ArmedFault* TakeCorruption(uint32_t iteration);
 
   // Parses a spec string: comma-separated "point@iter[:corrupt=N][:seed=S]",
-  // e.g. "replay@3,checkpoint-write@5:corrupt=2:seed=7". Appends to `out`;
-  // false on malformed input (out may hold a partial parse).
-  static bool Parse(const std::string& spec, FaultRegistry* out);
+  // e.g. "replay@3,checkpoint-write@5:corrupt=2:seed=7". Point names are
+  // case-insensitive. Appends to `out`; false on malformed input (out may
+  // hold a partial parse), with a human-readable reason in *error when
+  // provided. Two terms arming the SAME (point, iteration) pair are rejected
+  // as a spec error: a duplicated term is almost always a typo'd iteration,
+  // and silently arming both turns the intended one-shot crash into two.
+  static bool Parse(const std::string& spec, FaultRegistry* out,
+                    std::string* error = nullptr);
 
   // Registry armed from the SIMDX_FAULTS env var; nullptr when unset or
   // unparseable. Parsed once per process.
   static FaultRegistry* FromEnv();
 
  private:
+  std::vector<ArmedFault> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_;
+  }
+
+  mutable std::mutex mu_;
   std::vector<ArmedFault> faults_;
 };
 

@@ -1,0 +1,59 @@
+// The simulated-statistics fingerprint the determinism gates freeze: the
+// stats contract the run was accounted under (leading field — fingerprints
+// recorded under different contracts are DIFFERENT BY DESIGN and must never
+// compare equal), every CostCounters field, the derived times, the
+// filter/direction patterns, and an FNV-1a hash over the raw output-value
+// bytes (a race that corrupts values while leaving every counter intact must
+// still trip the gate). ONE definition on purpose — host_scaling,
+// push_replay, the differential determinism harness AND the resident query
+// service's containment oracle must agree on what "identical stats" means or
+// a divergence could pass one gate and fail the other. (It lives in core, not
+// bench, precisely because the service compares per-query fingerprints
+// against one-shot Engine::Run; bench/common.h re-exports it.)
+//
+// DELIBERATELY EXCLUDED: the host-side record-stream telemetry
+// (RunStats::push_records_buffered/_candidates/collect_fold_iterations).
+// The collect-side fold's whole job is to shrink the buffered record count
+// while leaving every simulated stat and value byte untouched, so a
+// fold-on run must stay fingerprint-identical to its fold-off sibling —
+// push_replay gates exactly that. The telemetry's own thread-count
+// determinism is pinned separately (parallel_test's ExpectIdenticalRuns and
+// the differential harness). Control-plane accounting (outcome, attempts,
+// resumes, checkpoints) is excluded for the same reason: a resumed or
+// retried run must fingerprint-match an uninterrupted one.
+#ifndef SIMDX_CORE_FINGERPRINT_H_
+#define SIMDX_CORE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/result.h"
+
+namespace simdx {
+
+template <typename Value>
+std::string StatsFingerprint(const RunResult<Value>& r) {
+  uint64_t values_hash = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(r.values.data());
+  for (size_t i = 0; i < r.values.size() * sizeof(Value); ++i) {
+    values_hash = (values_hash ^ bytes[i]) * 1099511628211ull;
+  }
+  std::ostringstream os;
+  const CostCounters& c = r.stats.counters;
+  os.precision(17);
+  os << ToString(r.stats.contract) << '|' << r.stats.iterations << '|'
+     << c.coalesced_words << '|'
+     << c.scattered_words << '|' << c.atomic_ops << '|' << c.atomic_conflicts
+     << '|' << c.alu_ops << '|' << c.kernel_launches << '|'
+     << c.barrier_crossings << '|' << r.stats.time.ms << '|'
+     << r.stats.time.cycles << '|' << r.stats.total_active << '|'
+     << r.stats.total_edges_processed << '|' << r.stats.filter_pattern << '|'
+     << r.stats.direction_pattern << '|' << r.values.size() << '|'
+     << values_hash;
+  return os.str();
+}
+
+}  // namespace simdx
+
+#endif  // SIMDX_CORE_FINGERPRINT_H_

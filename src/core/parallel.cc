@@ -52,6 +52,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   const uint32_t usable = std::min({threads == 0 ? 1u : threads, max_threads(), chunks});
   if (usable <= 1 || t_inside_parallel_region) {
     // The exact sequential loop: chunks in ascending order on the caller.
+    inline_runs_.fetch_add(1, std::memory_order_relaxed);
     ParallelChunk c;
     c.thread_index = 0;
     for (uint32_t i = 0; i < chunks; ++i) {
@@ -63,7 +64,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
 
-  std::lock_guard<std::mutex> submit(submit_mutex_);
+  std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    contended_submits_.fetch_add(1, std::memory_order_relaxed);
+    submit.lock();
+  }
+  submits_.fetch_add(1, std::memory_order_relaxed);
   uint64_t job_tag;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -80,6 +80,26 @@ class ThreadPool {
   // static teardown).
   static ThreadPool& Global();
 
+  // Submission-path telemetry for callers sharing the pool (the resident
+  // query service runs many engines against Global() concurrently; the qps
+  // bench reports these to show whether the single submission lock is a
+  // bottleneck at a given worker count). Counters are relaxed and bumped
+  // once per ParallelFor call — never per chunk — so the hot path cost is
+  // three loads/adds per stage.
+  struct SubmitTelemetry {
+    uint64_t submits = 0;            // jobs dispatched to the worker pool
+    uint64_t contended_submits = 0;  // submits that found the lock held
+    uint64_t inline_runs = 0;        // serial fallbacks (1 thread, 1 chunk,
+                                     // or a nested call run inline)
+  };
+  SubmitTelemetry telemetry() const {
+    SubmitTelemetry t;
+    t.submits = submits_.load(std::memory_order_relaxed);
+    t.contended_submits = contended_submits_.load(std::memory_order_relaxed);
+    t.inline_runs = inline_runs_.load(std::memory_order_relaxed);
+    return t;
+  }
+
   // Splits [begin, end) into ceil(n / grain) chunks and runs `fn` once per
   // chunk, using at most `threads` OS threads (the caller participates and
   // is thread_index 0). Blocks until every chunk has run. Chunk boundaries
@@ -127,6 +147,10 @@ class ThreadPool {
 
   // Serializes submissions from distinct caller threads.
   std::mutex submit_mutex_;
+
+  std::atomic<uint64_t> submits_{0};
+  std::atomic<uint64_t> contended_submits_{0};
+  std::atomic<uint64_t> inline_runs_{0};
 };
 
 // Suggested grain for a range processed by `threads` threads: enough chunks

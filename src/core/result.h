@@ -20,6 +20,10 @@ enum class RunOutcome : uint8_t {
   kCancelled = 2,       // CancelToken observed set
   kDeadlineExceeded = 3,  // RunControl::time_budget_ms exhausted
   kFaulted = 4,         // injected fault fired, or a resume source was invalid
+  // The caller-owned checkpoint sink reported a persistence failure (its
+  // on_checkpoint returned false). Distinct from kFaulted: the engine and its
+  // state are healthy — the durability the caller asked for is not.
+  kCheckpointSinkFailed = 5,
 };
 
 inline const char* ToString(RunOutcome o) {
@@ -34,6 +38,8 @@ inline const char* ToString(RunOutcome o) {
       return "deadline-exceeded";
     case RunOutcome::kFaulted:
       return "faulted";
+    case RunOutcome::kCheckpointSinkFailed:
+      return "checkpoint-sink-failed";
   }
   return "?";
 }

@@ -62,6 +62,9 @@ RunResult<typename Program::Value> RobustRun(Engine<Program>& engine,
           latest = cp;
           have_checkpoint = true;
         }
+        // An in-memory sink cannot fail; an invalid (torn-write) snapshot is
+        // not a sink failure — it is simply never kept as a resume point.
+        return true;
       };
     }
     const bool resuming = have_checkpoint;

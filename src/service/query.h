@@ -1,0 +1,135 @@
+// Typed queries for the resident graph query service (service.h): what a
+// client may ask of a loaded graph, what admission can say about it, and
+// what comes back. Deliberately engine-free — these types compile without
+// pulling in the engine template so clients (and the qps bench's JSON layer)
+// can include them cheaply.
+#ifndef SIMDX_SERVICE_QUERY_H_
+#define SIMDX_SERVICE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "graph/types.h"
+
+namespace simdx::service {
+
+enum class QueryKind : uint8_t {
+  kBfs = 0,
+  kSssp = 1,
+  kPpr = 2,
+  kKCore = 3,
+};
+
+inline const char* ToString(QueryKind k) {
+  switch (k) {
+    case QueryKind::kBfs:
+      return "bfs";
+    case QueryKind::kSssp:
+      return "sssp";
+    case QueryKind::kPpr:
+      return "ppr";
+    case QueryKind::kKCore:
+      return "kcore";
+  }
+  return "?";
+}
+
+// One client request. Everything optional defaults to "no constraint".
+struct Query {
+  QueryKind kind = QueryKind::kBfs;
+  // Traversal/ranking source (ignored by kKCore). Validated against the
+  // loaded graph at admission.
+  VertexId source = 0;
+  // Coreness threshold for kKCore (ignored otherwise; 0 is invalid).
+  uint32_t k = 16;
+  // End-to-end deadline from Submit(), queueing included. 0 = none.
+  // Admission sheds predictively (kShedDeadline) when the backlog estimate
+  // already exceeds it; a query whose deadline lapses while queued comes
+  // back kDeadlineExceeded without running; the remainder becomes the run's
+  // time budget.
+  double deadline_ms = 0.0;
+  // Per-query fault arming (FaultRegistry::Parse grammar). Parsed at
+  // admission: an unparseable spec is REJECTED (kRejectedInvalid) rather
+  // than handed to the engine, whose own parse failure aborts the process —
+  // a malformed query must never take the service down.
+  std::string fault_spec;
+  // Total RobustRun attempts (including the first). 0 = service default.
+  uint32_t max_attempts = 0;
+  // Copy the output values into QueryResult::value_bytes. Off by default:
+  // the fingerprint already covers the value bytes, and most load-test
+  // clients only want the digest.
+  bool want_values = false;
+};
+
+// What admission said. Only kAdmitted yields a future.
+enum class AdmissionVerdict : uint8_t {
+  kAdmitted = 0,
+  kShedQueueFull = 1,   // bounded queue at capacity
+  kShedDeadline = 2,    // backlog estimate already exceeds the deadline
+  kRejectedInvalid = 3, // malformed query (bad source, k == 0, bad faults...)
+};
+
+inline const char* ToString(AdmissionVerdict v) {
+  switch (v) {
+    case AdmissionVerdict::kAdmitted:
+      return "admitted";
+    case AdmissionVerdict::kShedQueueFull:
+      return "shed-queue-full";
+    case AdmissionVerdict::kShedDeadline:
+      return "shed-deadline";
+    case AdmissionVerdict::kRejectedInvalid:
+      return "rejected-invalid";
+  }
+  return "?";
+}
+
+struct QueryResult {
+  uint64_t query_id = 0;
+  QueryKind kind = QueryKind::kBfs;
+  // Terminal outcome: kCompleted/kResumed (answer is valid), kCancelled,
+  // kDeadlineExceeded (possibly without ever running), kFaulted (injected
+  // fault survived every retry), kCheckpointSinkFailed.
+  RunOutcome outcome = RunOutcome::kCompleted;
+  uint32_t attempts = 0;      // RobustRun attempts actually launched
+  double queue_ms = 0.0;      // Submit -> dequeue
+  double run_ms = 0.0;        // dequeue -> terminal (0 if never ran)
+  // StatsFingerprint of the run — byte-comparable against a one-shot
+  // Engine::Run oracle. Empty when the query never produced an answer.
+  std::string fingerprint;
+  RunStats stats;
+  // Raw output-value bytes (want_values only).
+  std::vector<uint8_t> value_bytes;
+
+  bool ok() const {
+    return outcome == RunOutcome::kCompleted || outcome == RunOutcome::kResumed;
+  }
+};
+
+// Monotonic service-lifetime ledger. Identities the qps bench gates on:
+//   submitted == admitted + shed_queue_full + shed_deadline + rejected_invalid
+//   admitted  == completed + faulted + cancelled + deadline_exceeded
+//               + sink_failed   (once Drain() has returned)
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t rejected_invalid = 0;
+  uint64_t completed = 0;          // kCompleted or kResumed
+  uint64_t faulted = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t sink_failed = 0;
+  uint64_t retries = 0;            // attempts beyond the first, summed
+  uint64_t expired_in_queue = 0;   // deadline_exceeded without ever running
+  // Overload-shedding ladder transitions, in order (the service-level
+  // sibling of RunStats::downgrades, same struct on purpose: `iteration`
+  // carries the ladder rung after the transition).
+  std::vector<DowngradeEvent> ladder;
+};
+
+}  // namespace simdx::service
+
+#endif  // SIMDX_SERVICE_QUERY_H_

@@ -1,0 +1,403 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "algos/algos.h"
+#include "core/engine.h"
+#include "core/fingerprint.h"
+#include "core/robust.h"
+
+namespace simdx::service {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// EWMA weight for per-kind run-time estimates: heavy enough on history to
+// ride out a single outlier, fresh enough to track a shifting mix.
+constexpr double kEwmaAlpha = 0.2;
+
+}  // namespace
+
+// One admitted query, owned by the queue until a worker retires it.
+struct GraphService::Task {
+  uint64_t id = 0;
+  Query query;
+  std::promise<QueryResult> promise;
+  std::shared_ptr<CancelToken> cancel;
+  // Per-query armed faults (parsed and validated at admission); nullptr
+  // means "no per-query faults" and lets the engine fall back to the
+  // process-wide SIMDX_FAULTS registry.
+  std::unique_ptr<FaultRegistry> faults;
+  double submit_ms = 0.0;
+  double deadline_abs_ms = 0.0;  // 0 = no deadline
+  uint32_t max_attempts = 1;
+};
+
+// Per-worker engine arenas: one lazily built engine per (kind, serial) so a
+// query reuses warmed scratch from its predecessors on this worker — the
+// zero-steady-state-allocation property the engine already guarantees across
+// Run() calls — while never sharing mutable state with another worker. The
+// serial variants exist because rung 2 of the overload ladder pins queries
+// to host_threads = 1, and host_threads is fixed at engine construction.
+struct GraphService::WorkerArena {
+  std::unique_ptr<Engine<BfsProgram>> bfs[2];
+  std::unique_ptr<Engine<SsspProgram>> sssp[2];
+  std::unique_ptr<Engine<PprProgram>> ppr[2];
+  std::unique_ptr<Engine<KCoreProgram>> kcore[2];
+};
+
+namespace {
+
+template <AccProgram Program>
+void RunInArena(std::unique_ptr<Engine<Program>>& slot, const Graph& graph,
+                const DeviceSpec& device, const EngineOptions& engine_options,
+                const Program& program, const RobustRunOptions& run_options,
+                bool want_values, QueryResult* out) {
+  if (!slot) {
+    slot = std::make_unique<Engine<Program>>(graph, device, engine_options);
+  }
+  const auto r = RobustRun(*slot, program, run_options);
+  out->outcome = r.stats.outcome;
+  out->attempts = r.stats.attempts;
+  out->stats = r.stats;
+  if (r.stats.ok()) {
+    out->fingerprint = StatsFingerprint(r);
+    if (want_values) {
+      const size_t bytes = r.values.size() * sizeof(typename Program::Value);
+      out->value_bytes.resize(bytes);
+      if (bytes > 0) {
+        std::memcpy(out->value_bytes.data(), r.values.data(), bytes);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GraphService::GraphService(const Graph& graph, ServiceOptions options)
+    : graph_(graph), options_([&] {
+        ServiceOptions o = std::move(options);
+        o.workers = std::max(1u, o.workers);
+        o.queue_capacity = std::max(1u, o.queue_capacity);
+        // Faults arrive per query or via SIMDX_FAULTS — an engine-level spec
+        // would arm EVERY query on this arena and (worse) abort the process
+        // if malformed. Admission already validates the per-query route.
+        o.engine.fault_spec.clear();
+        return o;
+      }()) {
+  workers_.reserve(options_.workers);
+  for (uint32_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+GraphService::~GraphService() { Shutdown(); }
+
+GraphService::Ticket GraphService::Submit(const Query& query) {
+  Ticket ticket;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (stopping_) {
+    // The queue is closed; from the client's view that is a full queue.
+    ++stats_.shed_queue_full;
+    ticket.verdict = AdmissionVerdict::kShedQueueFull;
+    return ticket;
+  }
+
+  // --- Validation: nothing malformed may reach the engine.
+  bool valid = true;
+  if (query.kind != QueryKind::kKCore &&
+      query.source >= graph_.vertex_count()) {
+    valid = false;
+  }
+  if (query.kind == QueryKind::kKCore && query.k == 0) {
+    valid = false;
+  }
+  std::unique_ptr<FaultRegistry> faults;
+  if (valid && !query.fault_spec.empty()) {
+    faults = std::make_unique<FaultRegistry>();
+    std::string error;
+    if (!FaultRegistry::Parse(query.fault_spec, faults.get(), &error)) {
+      valid = false;
+    }
+  }
+  if (!valid) {
+    ++stats_.rejected_invalid;
+    ticket.verdict = AdmissionVerdict::kRejectedInvalid;
+    return ticket;
+  }
+
+  // --- Backpressure: bounded queue, shed at capacity.
+  if (queue_.size() >= options_.queue_capacity) {
+    ++stats_.shed_queue_full;
+    ticket.verdict = AdmissionVerdict::kShedQueueFull;
+    return ticket;
+  }
+
+  // --- Predictive deadline shedding: if the backlog alone is already
+  // expected to eat the deadline, say no NOW instead of returning a
+  // guaranteed kDeadlineExceeded later. Rung 1 doubles the margin.
+  if (query.deadline_ms > 0.0) {
+    const double ewma = EwmaMsLocked(query.kind);
+    if (ewma > 0.0) {
+      const double waves =
+          static_cast<double>(queue_.size() / options_.workers + 1);
+      const double est_wait_ms = ewma * waves;
+      const double margin = rung_ >= 1 ? 2.0 : 1.0;
+      if (est_wait_ms * margin > query.deadline_ms) {
+        ++stats_.shed_deadline;
+        ticket.verdict = AdmissionVerdict::kShedDeadline;
+        return ticket;
+      }
+    }
+  }
+
+  // --- Admit.
+  auto task = std::make_unique<Task>();
+  task->id = next_query_id_++;
+  task->query = query;
+  task->cancel = std::make_shared<CancelToken>();
+  task->faults = std::move(faults);
+  task->submit_ms = NowMs();
+  task->deadline_abs_ms =
+      query.deadline_ms > 0.0 ? task->submit_ms + query.deadline_ms : 0.0;
+  task->max_attempts = query.max_attempts > 0 ? query.max_attempts
+                                              : options_.default_max_attempts;
+  ticket.verdict = AdmissionVerdict::kAdmitted;
+  ticket.query_id = task->id;
+  ticket.result = task->promise.get_future();
+  ++stats_.admitted;
+  live_.emplace_back(task->id, task->cancel);
+  queue_.push_back(std::move(task));
+  StepLadderLocked();
+  lock.unlock();
+  work_cv_.notify_one();
+  return ticket;
+}
+
+bool GraphService::Cancel(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, token] : live_) {
+    if (id == query_id) {
+      token->Cancel();
+      return true;
+    }
+  }
+  return false;
+}
+
+void GraphService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void GraphService::Shutdown() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) {
+      return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+  workers_.clear();
+}
+
+ServiceStats GraphService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint32_t GraphService::ladder_rung() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rung_;
+}
+
+double GraphService::EwmaMsLocked(QueryKind kind) const {
+  return ewma_ms_[static_cast<uint8_t>(kind)];
+}
+
+void GraphService::StepLadderLocked() {
+  const double occupancy = static_cast<double>(queue_.size()) /
+                           static_cast<double>(options_.queue_capacity);
+  uint32_t target = rung_;
+  if (occupancy >= options_.rung2_water) {
+    target = 2;
+  } else if (occupancy >= options_.high_water) {
+    target = std::max(rung_, 1u);
+  } else if (occupancy < options_.low_water) {
+    target = 0;
+  }
+  while (rung_ < target) {
+    ++rung_;
+    DowngradeEvent e;
+    e.iteration = rung_;
+    e.action = rung_ == 1 ? "shed:admission-strict" : "shed:serial-queries";
+    stats_.ladder.push_back(std::move(e));
+  }
+  while (rung_ > target) {
+    --rung_;
+    DowngradeEvent e;
+    e.iteration = rung_;
+    e.action = "shed:step-down";
+    stats_.ladder.push_back(std::move(e));
+  }
+}
+
+void GraphService::RunTask(Task& task, WorkerArena& arena) {
+  QueryResult result;
+  result.query_id = task.id;
+  result.kind = task.query.kind;
+
+  const double start_ms = NowMs();
+  result.queue_ms = start_ms - task.submit_ms;
+
+  // In-queue expiry and cancellation are decided here, once, before any
+  // engine work: a dead query must not occupy an arena.
+  const bool cancelled = task.cancel->cancelled();
+  const bool expired =
+      task.deadline_abs_ms > 0.0 && start_ms >= task.deadline_abs_ms;
+  bool ran = false;
+  if (cancelled) {
+    result.outcome = RunOutcome::kCancelled;
+  } else if (expired) {
+    result.outcome = RunOutcome::kDeadlineExceeded;
+  } else {
+    ran = true;
+    RobustRunOptions run_options;
+    run_options.checkpoint_every = options_.checkpoint_every;
+    run_options.max_attempts = task.max_attempts;
+    run_options.cancel = task.cancel.get();
+    run_options.faults = task.faults.get();
+    if (task.deadline_abs_ms > 0.0) {
+      run_options.attempt_time_budget_ms = task.deadline_abs_ms - start_ms;
+    }
+
+    bool serial;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      serial = rung_ >= 2;
+    }
+    EngineOptions engine_options = options_.engine;
+    if (serial) {
+      engine_options.host_threads = 1;
+    }
+    const int slot = serial ? 1 : 0;
+
+    switch (task.query.kind) {
+      case QueryKind::kBfs: {
+        BfsProgram program;
+        program.source = task.query.source;
+        RunInArena(arena.bfs[slot], graph_, options_.device, engine_options,
+                   program, run_options, task.query.want_values, &result);
+        break;
+      }
+      case QueryKind::kSssp: {
+        SsspProgram program;
+        program.source = task.query.source;
+        RunInArena(arena.sssp[slot], graph_, options_.device, engine_options,
+                   program, run_options, task.query.want_values, &result);
+        break;
+      }
+      case QueryKind::kPpr: {
+        PprProgram program;
+        program.graph = &graph_;
+        program.source = task.query.source;
+        RunInArena(arena.ppr[slot], graph_, options_.device, engine_options,
+                   program, run_options, task.query.want_values, &result);
+        break;
+      }
+      case QueryKind::kKCore: {
+        KCoreProgram program;
+        program.graph = &graph_;
+        program.k = task.query.k;
+        RunInArena(arena.kcore[slot], graph_, options_.device, engine_options,
+                   program, run_options, task.query.want_values, &result);
+        break;
+      }
+    }
+    result.run_ms = NowMs() - start_ms;
+  }
+
+  // Retire: ledger first (under the lock), then the promise — a client
+  // observing its future resolved must find the ledger already counted.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (result.outcome) {
+      case RunOutcome::kCompleted:
+      case RunOutcome::kResumed:
+        ++stats_.completed;
+        break;
+      case RunOutcome::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case RunOutcome::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        if (!ran) {
+          ++stats_.expired_in_queue;
+        }
+        break;
+      case RunOutcome::kFaulted:
+        ++stats_.faulted;
+        break;
+      case RunOutcome::kCheckpointSinkFailed:
+        ++stats_.sink_failed;
+        break;
+    }
+    if (result.attempts > 1) {
+      stats_.retries += result.attempts - 1;
+    }
+    if (result.ok()) {
+      double& ewma = ewma_ms_[static_cast<uint8_t>(result.kind)];
+      ewma = ewma == 0.0 ? result.run_ms
+                         : (1.0 - kEwmaAlpha) * ewma + kEwmaAlpha * result.run_ms;
+    }
+    for (size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].first == task.id) {
+        live_.erase(live_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  task.promise.set_value(std::move(result));
+}
+
+void GraphService::WorkerLoop(uint32_t /*worker_index*/) {
+  WorkerArena arena;
+  while (true) {
+    std::unique_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      StepLadderLocked();
+    }
+    RunTask(*task, arena);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace simdx::service

@@ -1,0 +1,141 @@
+// GraphService: a resident, fault-isolated query service over one immutable
+// CSR. Many concurrent clients Submit() typed queries (BFS / SSSP / PPR /
+// k-Core from arbitrary sources); a fixed worker pool drains a bounded
+// admission queue and answers each query with a one-shot-equivalent result:
+// for every admitted, un-faulted query the StatsFingerprint is bit-identical
+// to a fresh Engine::Run of the same program — queries never observe each
+// other, no matter how many ran before or beside them on the same reused
+// engine arenas.
+//
+// Robustness model, layer by layer:
+//   * ADMISSION — malformed queries (bad source, k == 0, unparseable fault
+//     spec) are rejected before they can reach the engine, whose own spec
+//     parse failure aborts the process. The queue is bounded: at capacity,
+//     new work is shed (kShedQueueFull), never buffered unboundedly.
+//   * DEADLINES — end-to-end from Submit. Admission sheds predictively when
+//     the backlog estimate (per-kind EWMA of run time x queue depth / worker
+//     count) already exceeds the deadline; queued queries whose deadline
+//     lapses come back kDeadlineExceeded without running; survivors run
+//     under the REMAINING budget via RunControl::time_budget_ms.
+//   * CONTAINMENT — each query runs under its own RunControl with a bounded
+//     RobustRun retry loop. A query armed with faults (its own spec, or the
+//     process-wide SIMDX_FAULTS registry) returns kFaulted or succeeds via
+//     retry; every other in-flight query completes clean. Worker threads
+//     share the persistent ThreadPool::Global() — nested ParallelFor calls
+//     degrade to the inline serial path, so N workers never deadlock the
+//     pool (see core/parallel.h).
+//   * OVERLOAD — a two-rung shedding ladder keyed on queue occupancy,
+//     recorded as DowngradeEvents exactly like the engine's in-run ladder:
+//     rung 1 (>= high_water) halves the deadline-admission margin; rung 2
+//     (>= rung2_water) forces admitted queries onto the serial drain
+//     (host_threads = 1) — legal precisely because every simulated stat is
+//     host-thread-invariant. Hysteresis: rungs step down below low_water.
+#ifndef SIMDX_SERVICE_SERVICE_H_
+#define SIMDX_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/control.h"
+#include "core/fault.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "service/query.h"
+#include "simt/device.h"
+
+namespace simdx::service {
+
+struct ServiceOptions {
+  uint32_t workers = 2;          // query worker threads (>= 1)
+  uint32_t queue_capacity = 64;  // bounded admission queue (>= 1)
+  // Engine configuration shared by every per-worker arena. fault_spec must
+  // stay empty here — faults arrive per query (Query::fault_spec) or via the
+  // SIMDX_FAULTS env registry.
+  EngineOptions engine;
+  DeviceSpec device = MakeK40();
+  uint32_t checkpoint_every = 4;     // RobustRun snapshot cadence (0 = never)
+  uint32_t default_max_attempts = 2; // when Query::max_attempts == 0
+  // Ladder thresholds as queue-occupancy fractions.
+  double high_water = 0.75;   // rung 1: strict deadline admission
+  double rung2_water = 0.95;  // rung 2: serial queries
+  double low_water = 0.5;     // hysteresis: step back down below this
+};
+
+class GraphService {
+ public:
+  // What Submit hands back. The future is valid ONLY when
+  // verdict == kAdmitted; it resolves when the query reaches a terminal
+  // outcome (including cancellation and in-queue deadline expiry).
+  struct Ticket {
+    AdmissionVerdict verdict = AdmissionVerdict::kRejectedInvalid;
+    uint64_t query_id = 0;
+    std::future<QueryResult> result;
+  };
+
+  // The graph must outlive the service and is never mutated.
+  GraphService(const Graph& graph, ServiceOptions options);
+  ~GraphService();
+
+  GraphService(const GraphService&) = delete;
+  GraphService& operator=(const GraphService&) = delete;
+
+  // Thread-safe, non-blocking: sheds instead of waiting.
+  Ticket Submit(const Query& query);
+
+  // Requests cancellation of a pending or running query. Returns false when
+  // the id is unknown or already terminal. The query's future still
+  // resolves (kCancelled, or its natural outcome if it won the race).
+  bool Cancel(uint64_t query_id);
+
+  // Blocks until every admitted query has reached a terminal outcome.
+  void Drain();
+
+  // Drains, then stops and joins the workers. Idempotent; the destructor
+  // calls it.
+  void Shutdown();
+
+  ServiceStats stats() const;
+  uint32_t ladder_rung() const;  // current overload rung (0, 1, 2)
+  const Graph& graph() const { return graph_; }
+
+ private:
+  struct Task;
+  struct WorkerArena;
+
+  void WorkerLoop(uint32_t worker_index);
+  void RunTask(Task& task, WorkerArena& arena);
+  // Ladder transitions; callers hold mu_.
+  void StepLadderLocked();
+  double EwmaMsLocked(QueryKind kind) const;
+
+  const Graph& graph_;
+  const ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable drain_cv_;  // Drain/Shutdown: all work retired
+  std::deque<std::unique_ptr<Task>> queue_;
+  // Pending + running tasks by id, for Cancel. Entries are erased when the
+  // task retires.
+  std::vector<std::pair<uint64_t, std::shared_ptr<CancelToken>>> live_;
+  uint64_t next_query_id_ = 1;
+  uint32_t in_flight_ = 0;  // dequeued, not yet retired
+  bool stopping_ = false;
+  uint32_t rung_ = 0;
+  ServiceStats stats_;
+  // Per-kind EWMA of run_ms (0 = no sample yet), feeding predictive
+  // deadline shedding.
+  double ewma_ms_[4] = {0.0, 0.0, 0.0, 0.0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace simdx::service
+
+#endif  // SIMDX_SERVICE_SERVICE_H_

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algos/bfs.h"
@@ -65,6 +68,7 @@ TEST(ControlTest, MidRunCancelStopsAtNextIterationBoundary) {
     if (cp.header.iteration == 3) {
       cancel.Cancel();
     }
+    return true;
   };
   BfsProgram program;
   Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
@@ -103,6 +107,7 @@ TEST(ControlTest, CheckpointingRunIsFingerprintPureAndCountsWrites) {
     ++observed;
     EXPECT_TRUE(cp.Validate(nullptr));
     EXPECT_EQ(cp.header.graph_vertices, g.vertex_count());
+    return true;
   };
   BfsProgram program;
   Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
@@ -125,7 +130,10 @@ TEST(ControlTest, ResumeFromMidRunCheckpointReproducesFingerprint) {
   std::vector<Checkpoint> snaps;
   RunControl writer;
   writer.checkpoint_every = 1;
-  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  writer.on_checkpoint = [&](const Checkpoint& cp) {
+    snaps.push_back(cp);
+    return true;
+  };
   {
     BfsProgram program;
     Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
@@ -165,7 +173,10 @@ TEST(ControlTest, ResumeAcrossHostThreadCountsReproducesFingerprint) {
   std::vector<Checkpoint> snaps;
   RunControl writer;
   writer.checkpoint_every = 1;
-  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  writer.on_checkpoint = [&](const Checkpoint& cp) {
+    snaps.push_back(cp);
+    return true;
+  };
   {
     BfsProgram program;
     Engine<BfsProgram> engine(g, MakeK40(), serial_opts);
@@ -186,7 +197,10 @@ TEST(ControlTest, CorruptedResumeSourceYieldsFaultedNotUb) {
   std::vector<Checkpoint> snaps;
   RunControl writer;
   writer.checkpoint_every = 1;
-  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  writer.on_checkpoint = [&](const Checkpoint& cp) {
+    snaps.push_back(cp);
+    return true;
+  };
   {
     BfsProgram program;
     Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
@@ -214,7 +228,10 @@ TEST(ControlTest, IncompatibleResumeSourceYieldsFaulted) {
   std::vector<Checkpoint> snaps;
   RunControl writer;
   writer.checkpoint_every = 1;
-  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  writer.on_checkpoint = [&](const Checkpoint& cp) {
+    snaps.push_back(cp);
+    return true;
+  };
   {
     BfsProgram program;
     Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
@@ -271,12 +288,118 @@ TEST(ControlTest, CheckpointWriteFaultYieldsFaulted) {
   control.faults = &reg;
   control.checkpoint_every = 1;
   uint32_t observed = 0;
-  control.on_checkpoint = [&](const Checkpoint&) { ++observed; };
+  control.on_checkpoint = [&](const Checkpoint&) {
+    ++observed;
+    return true;
+  };
   BfsProgram program;
   Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
   const auto r = engine.Run(program, control);
   EXPECT_EQ(r.stats.outcome, RunOutcome::kFaulted);
   EXPECT_EQ(observed, 2u);  // iterations 0 and 1 wrote; 2 failed
+}
+
+TEST(ControlTest, CheckpointSinkRefusalYieldsDistinctOutcome) {
+  // The sink (not the engine) fails: on_checkpoint returns false. That must
+  // surface as kCheckpointSinkFailed — distinguishable from an injected
+  // write fault — and the refused write must not be counted.
+  const Graph g = ChainGraph();
+  uint32_t calls = 0;
+  RunControl control;
+  control.checkpoint_every = 1;
+  control.on_checkpoint = [&](const Checkpoint&) {
+    ++calls;
+    return calls < 3;  // accept iterations 0 and 1, refuse iteration 2
+  };
+  BfsProgram program;
+  Engine<BfsProgram> engine(g, MakeK40(), DefaultOptions());
+  const auto r = engine.Run(program, control);
+  EXPECT_EQ(r.stats.outcome, RunOutcome::kCheckpointSinkFailed);
+  EXPECT_FALSE(r.stats.ok());
+  EXPECT_EQ(calls, 3u);
+  // checkpoints_written counts snapshots the sink actually holds.
+  EXPECT_EQ(r.stats.checkpoints_written, 2u);
+  EXPECT_EQ(std::string(ToString(r.stats.outcome)), "checkpoint-sink-failed");
+
+  // A sink refusing everything fails on the very first write — the engine
+  // must not keep hammering a sink that already said no.
+  Engine<BfsProgram> engine2(g, MakeK40(), DefaultOptions());
+  uint32_t calls2 = 0;
+  RunControl refuse_all;
+  refuse_all.checkpoint_every = 1;
+  refuse_all.on_checkpoint = [&](const Checkpoint&) {
+    ++calls2;
+    return false;
+  };
+  const auto r2 = engine2.Run(program, refuse_all);
+  EXPECT_EQ(r2.stats.outcome, RunOutcome::kCheckpointSinkFailed);
+  EXPECT_EQ(r2.stats.checkpoints_written, 0u);
+  EXPECT_EQ(calls2, 1u);
+}
+
+TEST(ControlTest, ConcurrentCancelFromNonWorkerThreadThenPureRerun) {
+  // Cancel raised from a thread that is NOT one of the engine's workers,
+  // landing mid-drain at an arbitrary moment, across every replay mode. The
+  // interrupted run may end kCancelled or kCompleted (the race is real and
+  // both are legal); what is pinned is that the SAME engine object then
+  // reruns to a fingerprint bit-identical to an undisturbed run — a torn
+  // cancellation must leave no residue in the engine's reusable scratch.
+  const Graph g = Graph::FromEdges(GenerateRmat(10, 8, 3), false);
+
+  struct Mode {
+    const char* name;
+    uint32_t host_threads;
+    bool pre_combine;
+  };
+  const Mode kModes[] = {
+      {"serial-drain", 1, false},
+      {"partitioned-drain", 3, false},
+      {"pre-combined-drain", 3, true},
+  };
+  for (const Mode& mode : kModes) {
+    EngineOptions o = DefaultOptions();
+    o.host_threads = mode.host_threads;
+    o.parallel_replay_min_records = 0;
+    o.pre_combine_replay = mode.pre_combine;
+    o.force_push = true;  // keep the run in the push drains under test
+
+    BfsProgram program;
+    Engine<BfsProgram> plain_engine(g, MakeK40(), o);
+    const auto plain = plain_engine.Run(program);
+    ASSERT_TRUE(plain.stats.ok()) << mode.name;
+
+    Engine<BfsProgram> engine(g, MakeK40(), o);
+    for (int trial = 0; trial < 4; ++trial) {
+      CancelToken cancel;
+      RunControl control;
+      control.cancel = &cancel;
+      std::atomic<bool> started{false};
+      // The canceller: an outside (non-worker) thread firing after an
+      // arbitrary sub-millisecond delay so successive trials land in
+      // different stages of the run.
+      std::thread canceller([&] {
+        while (!started.load(std::memory_order_acquire)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50 * trial));
+        cancel.Cancel();
+      });
+      started.store(true, std::memory_order_release);
+      const auto interrupted = engine.Run(program, control);
+      canceller.join();
+      EXPECT_TRUE(interrupted.stats.outcome == RunOutcome::kCancelled ||
+                  interrupted.stats.outcome == RunOutcome::kCompleted)
+          << mode.name << " trial " << trial << ": "
+          << ToString(interrupted.stats.outcome);
+
+      // Rerun on the same engine (reused scratch buffers) with no control:
+      // must be indistinguishable from the never-cancelled run.
+      const auto rerun = engine.Run(program);
+      ASSERT_TRUE(rerun.stats.ok()) << mode.name << " trial " << trial;
+      EXPECT_EQ(bench::StatsFingerprint(rerun), bench::StatsFingerprint(plain))
+          << mode.name << " trial " << trial;
+      EXPECT_EQ(rerun.values, plain.values) << mode.name;
+    }
+  }
 }
 
 TEST(ControlTest, AllocPressureFaultStepsDegradationLadderAndCompletes) {
@@ -357,9 +480,10 @@ TEST(ControlTest, RobustRunRetriesFromCheckpointAndMatchesFingerprint) {
 TEST(ControlTest, RobustRunGivesUpAfterMaxAttempts) {
   const Graph g = ChainGraph();
   FaultRegistry reg;
-  // Three one-shot faults at the same point: both attempts die there.
-  ASSERT_TRUE(FaultRegistry::Parse(
-      "iteration-start@1,iteration-start@1,iteration-start@1", &reg));
+  // One-shot faults at consecutive iterations: attempt 1 dies at iteration 1;
+  // attempt 2 resumes past it and dies at iteration 2. Out of attempts.
+  ASSERT_TRUE(
+      FaultRegistry::Parse("iteration-start@1,iteration-start@2", &reg));
   RobustRunOptions opts;
   opts.checkpoint_every = 1;
   opts.max_attempts = 2;
@@ -399,6 +523,7 @@ TEST(ControlTest, ZeroEdgeGraphRunsAndCheckpointsCleanly) {
   control.on_checkpoint = [&](const Checkpoint& cp) {
     ++observed;
     EXPECT_TRUE(cp.Validate(nullptr));
+    return true;
   };
   Engine<BfsProgram> engine(g, MakeK40(), o);
   const auto r = engine.Run(program, control);
@@ -421,7 +546,10 @@ TEST(ControlTest, SsspSchedulerStateSurvivesResume) {
   std::vector<Checkpoint> snaps;
   RunControl writer;
   writer.checkpoint_every = 1;
-  writer.on_checkpoint = [&](const Checkpoint& cp) { snaps.push_back(cp); };
+  writer.on_checkpoint = [&](const Checkpoint& cp) {
+    snaps.push_back(cp);
+    return true;
+  };
   {
     SsspProgram program;
     Engine<SsspProgram> engine(g, MakeK40(), o);

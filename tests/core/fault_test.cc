@@ -21,6 +21,20 @@ TEST(FaultPointTest, NamesRoundTrip) {
   EXPECT_FALSE(FaultPointFromName("", &unused));
 }
 
+TEST(FaultPointTest, NamesAreCaseInsensitive) {
+  FaultPoint p = FaultPoint::kIterationStart;
+  ASSERT_TRUE(FaultPointFromName("Replay", &p));
+  EXPECT_EQ(p, FaultPoint::kReplay);
+  ASSERT_TRUE(FaultPointFromName("CHECKPOINT-WRITE", &p));
+  EXPECT_EQ(p, FaultPoint::kCheckpointWrite);
+  ASSERT_TRUE(FaultPointFromName("Iteration-Start", &p));
+  EXPECT_EQ(p, FaultPoint::kIterationStart);
+  // Case folding must not make prefixes or extensions match.
+  FaultPoint unused;
+  EXPECT_FALSE(FaultPointFromName("Repla", &unused));
+  EXPECT_FALSE(FaultPointFromName("Replays", &unused));
+}
+
 TEST(FaultRegistryTest, ParseSingleTerm) {
   FaultRegistry reg;
   ASSERT_TRUE(FaultRegistry::Parse("replay@3", &reg));
@@ -72,12 +86,32 @@ TEST(FaultRegistryTest, OneShotAcrossQueriesUntilReset) {
   EXPECT_TRUE(reg.ShouldFail(FaultPoint::kFrontier, 2));
 }
 
-TEST(FaultRegistryTest, DuplicateArmsFireIndependently) {
+TEST(FaultRegistryTest, DuplicateTermsAreRejectedWithClearError) {
   FaultRegistry reg;
-  ASSERT_TRUE(FaultRegistry::Parse("replay@3,replay@3", &reg));
+  std::string error;
+  EXPECT_FALSE(FaultRegistry::Parse("replay@3,replay@3", &reg, &error));
+  EXPECT_NE(error.find("duplicate fault point replay@3"), std::string::npos)
+      << error;
+  // Rejection leaves the registry untouched — no partial arming.
+  EXPECT_TRUE(reg.empty());
+  // Case-insensitive names collide too: Replay@3 IS replay@3.
+  error.clear();
+  EXPECT_FALSE(FaultRegistry::Parse("replay@3,Replay@3", &reg, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  // Same point at distinct iterations is fine.
+  EXPECT_TRUE(FaultRegistry::Parse("replay@3,replay@4", &reg));
   EXPECT_TRUE(reg.ShouldFail(FaultPoint::kReplay, 3));
-  EXPECT_TRUE(reg.ShouldFail(FaultPoint::kReplay, 3));
+  EXPECT_TRUE(reg.ShouldFail(FaultPoint::kReplay, 4));
   EXPECT_FALSE(reg.ShouldFail(FaultPoint::kReplay, 3));
+}
+
+TEST(FaultRegistryTest, ParseReportsTheOffendingTerm) {
+  FaultRegistry reg;
+  std::string error;
+  EXPECT_FALSE(FaultRegistry::Parse("collect@1,bogus@3", &reg, &error));
+  EXPECT_NE(error.find("bogus@3"), std::string::npos) << error;
+  EXPECT_NE(error.find("unknown fault point"), std::string::npos) << error;
+  EXPECT_TRUE(reg.empty());
 }
 
 TEST(CorruptCheckpointSectionTest, FlippedByteFailsValidateDeterministically) {

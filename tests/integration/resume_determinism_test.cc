@@ -94,6 +94,7 @@ void SweepCell(const std::string& label, const Graph& g,
     uint32_t valid = 0;
     control.on_checkpoint = [&](const Checkpoint& cp) {
       valid += cp.Validate(nullptr) ? 1 : 0;
+      return true;
     };
     Engine<Program> engine(g, MakeK40(), options);
     const auto watched = engine.Run(program, control);

@@ -1,0 +1,84 @@
+// SIMDX_FAULTS containment: a service whose queries carry NO per-query
+// faults falls back to the process-wide env registry. That registry is
+// one-shot, so in a concurrent batch exactly ONE query takes the fault and
+// every other completes clean — the ISSUE's "a query armed with
+// SIMDX_FAULTS returns kFaulted while every other query completes with a
+// fingerprint bit-identical to one-shot Engine::Run".
+//
+// This lives in its OWN test binary: FaultRegistry::FromEnv latches on
+// first use, so the env var must be set before ANY engine in the process
+// runs — the static initializer below does that ahead of main. The oracle
+// is computed AFTER the service batch, once the one-shot arm is spent.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "algos/algos.h"
+#include "bench/common.h"
+#include "graph/generators.h"
+#include "service/service.h"
+#include "simt/device.h"
+
+namespace simdx::service {
+namespace {
+
+const bool kEnvArmed = [] {
+  // Case-insensitive spelling on purpose: exercises the parser satellite on
+  // the env path too.
+  setenv("SIMDX_FAULTS", "Iteration-Start@2", 1);
+  return true;
+}();
+
+TEST(EnvFaultTest, ExactlyOneQueryTakesTheEnvFault) {
+  ASSERT_TRUE(kEnvArmed);
+  const Graph g = Graph::FromEdges(GenerateRmat(8, 8, 3), false);
+  ServiceOptions so;
+  so.workers = 3;
+  so.queue_capacity = 64;
+  so.engine.sim_worker_threads = 64;
+  GraphService svc(g, so);
+
+  // Single-attempt queries: the one that draws the env fault must surface
+  // kFaulted, not silently retry past it.
+  std::vector<GraphService::Ticket> tickets;
+  for (int i = 0; i < 20; ++i) {
+    Query q;
+    q.kind = QueryKind::kBfs;
+    q.source = 1;
+    q.max_attempts = 1;
+    auto t = svc.Submit(q);
+    ASSERT_EQ(t.verdict, AdmissionVerdict::kAdmitted);
+    tickets.push_back(std::move(t));
+  }
+  svc.Drain();
+
+  // Oracle AFTER the batch: the one-shot arm is spent, so this run is clean.
+  EngineOptions o;
+  o.sim_worker_threads = 64;
+  BfsProgram program;
+  program.source = 1;
+  Engine<BfsProgram> engine(g, MakeK40(), o);
+  const auto oracle_run = engine.Run(program);
+  ASSERT_TRUE(oracle_run.stats.ok());
+  const std::string oracle = bench::StatsFingerprint(oracle_run);
+
+  uint32_t faulted = 0;
+  for (auto& t : tickets) {
+    const QueryResult r = t.result.get();
+    if (r.outcome == RunOutcome::kFaulted) {
+      ++faulted;
+    } else {
+      ASSERT_EQ(r.outcome, RunOutcome::kCompleted);
+      EXPECT_EQ(r.fingerprint, oracle);
+    }
+  }
+  EXPECT_EQ(faulted, 1u)
+      << "the env registry is one-shot: exactly one query takes the crash";
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.faulted, 1u);
+  EXPECT_EQ(s.completed, 19u);
+}
+
+}  // namespace
+}  // namespace simdx::service
