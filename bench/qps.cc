@@ -8,8 +8,17 @@
 // telemetry.
 //
 // --smoke runs a small flood with 10% faults and gates (exit 1) on the
-// ledger accounting identities and a per-kind fingerprint-vs-one-shot
-// oracle sample.
+// ledger accounting identities, a per-kind fingerprint-vs-one-shot oracle
+// sample, and the throughput layers' answer contract: every batched and
+// cached BFS answer from the A/B probe below must be value-fingerprint-
+// identical to its one-shot oracle.
+//
+// Besides the open-loop phase (whose service takes --batch / --cache /
+// --hot-fraction), the harness always runs a closed A/B probe: the same
+// 64-source BFS burst through a paused service twice — batching off, then
+// batch_max=64 with a result cache — plus a replay pass that must be served
+// entirely from the cache. The probe is where batched-vs-unbatched
+// throughput and the bit-equality gates come from.
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -24,6 +33,7 @@
 
 #include "algos/algos.h"
 #include "common.h"
+#include "core/fingerprint.h"
 #include "core/parallel.h"
 #include "graph/generators.h"
 #include "service/service.h"
@@ -51,6 +61,9 @@ struct Args {
   uint32_t queries = 400;
   double fault_rate = 0.0;
   double deadline_ms = 0.0;  // 0 = no deadline
+  uint32_t batch = 1;        // open-loop service batch_max (1 = off)
+  uint32_t cache = 0;        // open-loop service cache entries (0 = off)
+  double hot_fraction = 0.0; // fraction of queries re-asking a hot BFS set
   std::string json_path;
   bool smoke = false;
 };
@@ -88,6 +101,12 @@ Args Parse(int argc, char** argv) {
       args.fault_rate = ParseDoubleFlag(argv[++i], "--fault-rate");
     } else if (a == "--deadline-ms" && i + 1 < argc) {
       args.deadline_ms = ParseDoubleFlag(argv[++i], "--deadline-ms");
+    } else if (a == "--batch" && i + 1 < argc) {
+      args.batch = ParseU32Flag(argv[++i], "--batch");
+    } else if (a == "--cache" && i + 1 < argc) {
+      args.cache = ParseU32Flag(argv[++i], "--cache");
+    } else if (a == "--hot-fraction" && i + 1 < argc) {
+      args.hot_fraction = ParseDoubleFlag(argv[++i], "--hot-fraction");
     } else if (a == "--json" && i + 1 < argc) {
       args.json_path = argv[++i];
     } else if (a == "--smoke") {
@@ -98,37 +117,57 @@ Args Parse(int argc, char** argv) {
       args.queue_capacity = 48;
       args.target_qps = 5000.0;  // flood: exercises the queue + ladder
       args.fault_rate = 0.1;
+      // The throughput layers run (and are gated) in the smoke too: the
+      // open-loop flood coalesces and caches, and the hot fraction makes
+      // repeat questions actually occur.
+      args.batch = 16;
+      args.cache = 64;
+      args.hot_fraction = 0.25;
     } else if (a == "--help" || a == "-h") {
       std::cout
           << "usage: " << argv[0]
           << " [--scale N] [--edge-factor N] [--graph-seed N] [--seed N]"
              " [--workers N] [--queue-capacity N] [--qps R] [--queries N]"
-             " [--fault-rate F] [--deadline-ms D] [--json out.json]"
-             " [--smoke]\n\n"
+             " [--fault-rate F] [--deadline-ms D] [--batch N] [--cache N]"
+             " [--hot-fraction F] [--json out.json] [--smoke]\n\n"
              "Open-loop QPS load harness for the resident GraphService:\n"
              "Poisson arrivals at --qps mixing BFS/SSSP/PPR/k-Core queries,\n"
              "--fault-rate of them armed with per-query fault injection.\n"
+             "--batch enables coalesced multi-source BFS dispatch, --cache\n"
+             "a bounded LRU result cache, --hot-fraction redirects that\n"
+             "fraction of arrivals to a small repeating BFS question set.\n"
+             "A closed A/B probe (64-source BFS burst, batching off vs\n"
+             "batch_max=64 + cache, plus a cache replay) always runs and\n"
+             "feeds the batching/cache JSON sections.\n"
              "--smoke shrinks the run and gates (exit 1) on the ledger\n"
-             "identities and a per-kind one-shot-oracle fingerprint sample.\n"
+             "identities, a per-kind one-shot-oracle fingerprint sample,\n"
+             "and value-fingerprint equality of every batched and cached\n"
+             "probe answer against its one-shot oracle.\n"
              "JSON (stdout, and --json <path>):\n"
              "{graph: {vertices, edges, rmat_scale, seed},\n"
              " config: {workers, queue_capacity, target_qps, queries,\n"
-             "  fault_rate, deadline_ms, seed},\n"
+             "  fault_rate, deadline_ms, batch_max, cache_capacity,\n"
+             "  hot_fraction, seed},\n"
              " wall_ms, throughput_qps, offered_qps,\n"
              " latency_ms: {p50, p99, max, mean},\n"
              " rates: {shed, fault, retry},\n"
              " ledger: {submitted, admitted, shed_queue_full, shed_deadline,\n"
              "  rejected_invalid, completed, faulted, cancelled,\n"
              "  deadline_exceeded, sink_failed, retries, expired_in_queue,\n"
-             "  ladder_transitions},\n"
+             "  batches, batched_queries, cache_hits, cache_misses,\n"
+             "  cache_evictions, ladder_transitions},\n"
+             " batching: {probe_queries, unbatched_wall_ms, batched_wall_ms,\n"
+             "  unbatched_qps, batched_qps, speedup, batched_runs},\n"
+             " cache: {open_loop_hit_rate, replay_hits, replay_wall_ms},\n"
              " pool: {submits, contended_submits, inline_runs},\n"
-             " ledger_ok, oracle_ok}\n";
+             " ledger_ok, oracle_ok, batch_oracle_ok, cache_oracle_ok}\n";
       std::exit(0);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--scale N] [--edge-factor N] [--graph-seed N]"
                    " [--seed N] [--workers N] [--queue-capacity N] [--qps R]"
                    " [--queries N] [--fault-rate F] [--deadline-ms D]"
+                   " [--batch N] [--cache N] [--hot-fraction F]"
                    " [--json out.json] [--smoke] [--help]\n";
       std::exit(2);
     }
@@ -236,12 +275,21 @@ int Main(int argc, char** argv) {
   so.queue_capacity = args.queue_capacity;
   so.engine = ServiceEngineOptions();
   so.device = MakeK40();
+  so.batch_max = args.batch;
+  so.cache_capacity = args.cache;
 
   // ---- deterministic open-loop schedule ----
   // Exponential inter-arrival gaps (Poisson process) and the workload mix
   // both come from the one seed, so a rerun offers the identical load.
   std::mt19937_64 rng(args.seed);
   std::exponential_distribution<double> gap_s(args.target_qps);
+  // The hot set: a handful of BFS questions that --hot-fraction of arrivals
+  // re-ask, which is what makes the result cache (and same-source lane
+  // sharing in coalesced dispatch) observable under open-loop load.
+  std::vector<VertexId> hot_sources;
+  for (int i = 0; i < 8; ++i) {
+    hot_sources.push_back(static_cast<VertexId>(rng() % g.vertex_count()));
+  }
   struct Planned {
     Query query;
     double at_s = 0.0;  // offset from harness start
@@ -258,6 +306,12 @@ int Main(int argc, char** argv) {
     p.query.source = static_cast<VertexId>(rng() % g.vertex_count());
     p.query.k = 2 + static_cast<uint32_t>(rng() % 3);
     p.query.deadline_ms = args.deadline_ms;
+    if (args.hot_fraction > 0.0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+            args.hot_fraction) {
+      p.query.kind = QueryKind::kBfs;
+      p.query.source = hot_sources[rng() % hot_sources.size()];
+    }
     const bool armed =
         args.fault_rate > 0.0 &&
         std::uniform_real_distribution<double>(0.0, 1.0)(rng) < args.fault_rate;
@@ -319,6 +373,134 @@ int Main(int argc, char** argv) {
   const bool oracle_ok = OracleSampleMatches(g, so);
   svc.Shutdown();
 
+  // ---- closed A/B probe: the same BFS burst, batching off vs on ----
+  // start_paused composes the whole burst in the queue before any dispatch,
+  // so the batched run coalesces deterministically; the unbatched control
+  // answers the identical questions one engine run at a time. The per-query
+  // value fingerprints are gated against one-shot oracles — throughput
+  // layers must never change an answer.
+  std::vector<VertexId> burst;
+  {
+    std::mt19937_64 brng(args.seed ^ 0x9e3779b97f4a7c15ull);
+    const size_t want = std::min<size_t>(64, g.vertex_count());
+    while (burst.size() < want) {
+      const VertexId s = static_cast<VertexId>(brng() % g.vertex_count());
+      bool dup = false;
+      for (VertexId t : burst) {
+        dup = dup || t == s;
+      }
+      if (!dup) {
+        burst.push_back(s);
+      }
+    }
+  }
+  std::vector<uint64_t> burst_oracle_vfp;
+  burst_oracle_vfp.reserve(burst.size());
+  for (VertexId s : burst) {
+    const auto r = RunBfs(g, s, so.device, so.engine);
+    burst_oracle_vfp.push_back(ValueBytesFingerprint(
+        r.values.data(), r.values.size() * sizeof(uint32_t)));
+  }
+
+  ServiceOptions probe = so;
+  probe.queue_capacity =
+      std::max<uint32_t>(probe.queue_capacity, static_cast<uint32_t>(burst.size()));
+  probe.start_paused = true;
+  const auto flood = [&burst](GraphService& psvc,
+                              std::vector<QueryResult>* out) {
+    std::vector<GraphService::Ticket> tks;
+    tks.reserve(burst.size());
+    for (VertexId s : burst) {
+      Query q;
+      q.kind = QueryKind::kBfs;
+      q.source = s;
+      tks.push_back(psvc.Submit(q));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    psvc.Resume();
+    psvc.Drain();
+    const double w = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    for (auto& t : tks) {
+      out->push_back(t.verdict == AdmissionVerdict::kAdmitted
+                         ? t.result.get()
+                         : QueryResult{});
+    }
+    return w;
+  };
+
+  double unbatched_ms = 0.0;
+  {
+    ServiceOptions a = probe;
+    a.batch_max = 1;
+    a.cache_capacity = 0;
+    GraphService asvc(g, a);
+    std::vector<QueryResult> results;
+    unbatched_ms = flood(asvc, &results);
+    asvc.Shutdown();
+  }
+
+  double batched_ms = 0.0;
+  double replay_ms = 0.0;
+  uint64_t replay_hits = 0;
+  ServiceStats probe_stats;
+  bool batch_oracle_ok = true;
+  bool cache_oracle_ok = true;
+  {
+    ServiceOptions b = probe;
+    b.batch_max = 64;
+    b.cache_capacity =
+        std::max<size_t>(so.cache_capacity, burst.size());
+    GraphService bsvc(g, b);
+    std::vector<QueryResult> results;
+    batched_ms = flood(bsvc, &results);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok() ||
+          results[i].value_fingerprint != burst_oracle_vfp[i]) {
+        std::cerr << "probe: batched answer " << i
+                  << " diverged from its one-shot oracle\n";
+        batch_oracle_ok = false;
+      }
+    }
+    // The replay pass: every question was just answered, so every answer
+    // must now come from the cache — bit-identical again, no arena touched.
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < burst.size(); ++i) {
+      Query q;
+      q.kind = QueryKind::kBfs;
+      q.source = burst[i];
+      auto t = bsvc.Submit(q);
+      if (t.verdict != AdmissionVerdict::kAdmitted) {
+        cache_oracle_ok = false;
+        continue;
+      }
+      const QueryResult r = t.result.get();
+      if (r.served == service::ServedBy::kCache) {
+        ++replay_hits;
+      }
+      if (!r.ok() || r.value_fingerprint != burst_oracle_vfp[i]) {
+        std::cerr << "probe: cached answer " << i
+                  << " diverged from its one-shot oracle\n";
+        cache_oracle_ok = false;
+      }
+    }
+    replay_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    probe_stats = bsvc.stats();
+    bsvc.Shutdown();
+    if (probe_stats.batches == 0) {
+      std::cerr << "probe: coalesced dispatch never engaged\n";
+      batch_oracle_ok = false;
+    }
+    if (replay_hits != burst.size()) {
+      std::cerr << "probe: replay expected " << burst.size()
+                << " cache hits, got " << replay_hits << "\n";
+      cache_oracle_ok = false;
+    }
+  }
+
   const double wall_s = wall_ms / 1000.0;
   const uint64_t sheds = stats.shed_queue_full + stats.shed_deadline;
   const double shed_rate =
@@ -340,6 +522,9 @@ int Main(int argc, char** argv) {
        << ", \"queries\": " << args.queries
        << ", \"fault_rate\": " << args.fault_rate
        << ", \"deadline_ms\": " << args.deadline_ms
+       << ", \"batch_max\": " << args.batch
+       << ", \"cache_capacity\": " << args.cache
+       << ", \"hot_fraction\": " << args.hot_fraction
        << ", \"seed\": " << args.seed
        << "},\n  \"wall_ms\": " << wall_ms
        << ",\n  \"throughput_qps\": "
@@ -364,7 +549,29 @@ int Main(int argc, char** argv) {
        << ", \"sink_failed\": " << stats.sink_failed
        << ", \"retries\": " << stats.retries
        << ", \"expired_in_queue\": " << stats.expired_in_queue
+       << ", \"batches\": " << stats.batches
+       << ", \"batched_queries\": " << stats.batched_queries
+       << ", \"cache_hits\": " << stats.cache_hits
+       << ", \"cache_misses\": " << stats.cache_misses
+       << ", \"cache_evictions\": " << stats.cache_evictions
        << ", \"ladder_transitions\": " << stats.ladder.size()
+       << "},\n  \"batching\": {\"probe_queries\": " << burst.size()
+       << ", \"unbatched_wall_ms\": " << unbatched_ms
+       << ", \"batched_wall_ms\": " << batched_ms
+       << ", \"unbatched_qps\": "
+       << (unbatched_ms > 0 ? burst.size() * 1000.0 / unbatched_ms : 0.0)
+       << ", \"batched_qps\": "
+       << (batched_ms > 0 ? burst.size() * 1000.0 / batched_ms : 0.0)
+       << ", \"speedup\": "
+       << (batched_ms > 0 ? unbatched_ms / batched_ms : 0.0)
+       << ", \"batched_runs\": " << probe_stats.batches
+       << "},\n  \"cache\": {\"open_loop_hit_rate\": "
+       << (stats.cache_hits + stats.cache_misses > 0
+               ? static_cast<double>(stats.cache_hits) /
+                     (stats.cache_hits + stats.cache_misses)
+               : 0.0)
+       << ", \"replay_hits\": " << replay_hits
+       << ", \"replay_wall_ms\": " << replay_ms
        << "},\n  \"pool\": {\"submits\": "
        << (pool_after.submits - pool_before.submits)
        << ", \"contended_submits\": "
@@ -372,7 +579,10 @@ int Main(int argc, char** argv) {
        << ", \"inline_runs\": "
        << (pool_after.inline_runs - pool_before.inline_runs)
        << "},\n  \"ledger_ok\": " << (ledger_ok ? "true" : "false")
-       << ",\n  \"oracle_ok\": " << (oracle_ok ? "true" : "false") << "\n}\n";
+       << ",\n  \"oracle_ok\": " << (oracle_ok ? "true" : "false")
+       << ",\n  \"batch_oracle_ok\": " << (batch_oracle_ok ? "true" : "false")
+       << ",\n  \"cache_oracle_ok\": " << (cache_oracle_ok ? "true" : "false")
+       << "\n}\n";
 
   if (!args.json_path.empty()) {
     std::ofstream out(args.json_path);
@@ -382,9 +592,11 @@ int Main(int argc, char** argv) {
   std::cout << json.str();
 
   if (args.smoke) {
-    if (!ledger_ok || !oracle_ok) {
+    if (!ledger_ok || !oracle_ok || !batch_oracle_ok || !cache_oracle_ok) {
       std::cerr << "SMOKE FAIL: ledger_ok=" << ledger_ok
-                << " oracle_ok=" << oracle_ok << "\n";
+                << " oracle_ok=" << oracle_ok
+                << " batch_oracle_ok=" << batch_oracle_ok
+                << " cache_oracle_ok=" << cache_oracle_ok << "\n";
       return 1;
     }
     std::cerr << "smoke OK\n";

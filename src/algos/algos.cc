@@ -10,6 +10,18 @@ RunResult<uint32_t> RunBfs(const Graph& g, VertexId source, const DeviceSpec& de
   return engine.Run(program);
 }
 
+MsBfsRunResult RunMsBfs(const Graph& g, const std::vector<VertexId>& sources,
+                        const DeviceSpec& device, const EngineOptions& options) {
+  MsBfsRunResult out;
+  MsBfsInit(&out.state, sources, g.vertex_count());
+  MsBfsProgram program;
+  program.state = &out.state;
+  program.graph = &g;
+  Engine<MsBfsProgram> engine(g, device, options);
+  out.run = engine.Run(program);
+  return out;
+}
+
 RunResult<uint32_t> RunSssp(const Graph& g, VertexId source,
                             const DeviceSpec& device, const EngineOptions& options) {
   SsspProgram program;

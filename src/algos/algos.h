@@ -11,6 +11,7 @@
 #include "algos/bfs.h"
 #include "algos/bp.h"
 #include "algos/kcore.h"
+#include "algos/msbfs.h"
 #include "algos/pagerank.h"
 #include "algos/ppr.h"
 #include "algos/spmv.h"
@@ -21,6 +22,7 @@
 namespace simdx {
 
 static_assert(AccProgram<BfsProgram>);
+static_assert(AccProgram<MsBfsProgram>);
 static_assert(AccProgram<SsspProgram>);
 static_assert(AccProgram<PageRankProgram>);
 static_assert(AccProgram<PprProgram>);
@@ -31,6 +33,16 @@ static_assert(AccProgram<SpmvProgram>);
 
 RunResult<uint32_t> RunBfs(const Graph& g, VertexId source, const DeviceSpec& device,
                            const EngineOptions& options);
+// One bit-parallel traversal for <= 64 distinct sources (extras are dropped
+// by MsBfsInit): `run.values` holds the final lane masks, `state` the
+// settle-time level table (ExtractLaneLevels(state, lane) is bit-comparable
+// to RunBfs(g, state.sources[lane], ...).values).
+struct MsBfsRunResult {
+  RunResult<uint64_t> run;
+  MsBfsState state;
+};
+MsBfsRunResult RunMsBfs(const Graph& g, const std::vector<VertexId>& sources,
+                        const DeviceSpec& device, const EngineOptions& options);
 RunResult<uint32_t> RunSssp(const Graph& g, VertexId source,
                             const DeviceSpec& device, const EngineOptions& options);
 RunResult<PageRankValue> RunPageRank(const Graph& g, const DeviceSpec& device,

@@ -119,6 +119,13 @@ struct ApplyEffect {
 //                                                (e.g. residuals) to the
 //                                                neighbors and clear it
 //   bool StaticFrontierAfterFirst()            — frontier provably constant
+//   bool PullSaturated(v_value, combined)     — the accumulated gather value
+//                                                already determines Apply's
+//                                                output; stop scanning
+//                                                (aggregation-kind sibling
+//                                                of the kVote early exit,
+//                                                e.g. MS-BFS's full lane
+//                                                mask)
 //   Value ApplyCollect(v, combined, old, dir,
 //                      std::vector<ApplyEffect>&)
 //                                              — Apply variant for the

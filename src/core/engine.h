@@ -748,6 +748,15 @@ class Engine {
   // --- control plane: cancellation, deadlines, fault hooks, checkpointing,
   // graceful degradation (control.h / checkpoint.h / fault.h) ---
 
+  // Optional saturation hook for pull gathers (see PullRange): a program
+  // whose Combine is monotone-idempotent can certify mid-gather that the
+  // accumulated value already determines Apply's output, letting the scan
+  // stop early — the aggregation-kind sibling of the kVote early exit.
+  static constexpr bool kHasPullSaturated =
+      requires(const Program& p, typename Program::Value v) {
+        { p.PullSaturated(v, v) } -> std::same_as<bool>;
+      };
+
   // Programs with scheduler state beyond the frontier (delta-stepping SSSP's
   // pending buckets) opt into checkpointing it via this hook pair.
   static constexpr bool kHasProgramState =
@@ -1898,6 +1907,20 @@ class Engine {
             // Voting combine: all updates are identical, one suffices —
             // collaborative early termination (Section 3.3, Figure 5).
             break;
+          }
+          if constexpr (kHasPullSaturated) {
+            // Aggregation generalization of the vote exit: the program
+            // certifies that no further contribution can change what Apply
+            // will produce (e.g. MS-BFS's lane mask is already full), so
+            // the rest of the gather is provably dead work. Deterministic —
+            // the in-neighbor scan order is fixed — and exact, because
+            // skipped contributions are absorbed by the saturated value.
+            // Shares the ablation flag: baselines that model AFC-style
+            // frameworks (no collaborative termination) lose both exits.
+            if (options_.enable_vote_early_exit &&
+                program.PullSaturated(meta.prev(v), combined)) {
+              break;
+            }
           }
         }
       }

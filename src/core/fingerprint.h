@@ -32,13 +32,24 @@
 
 namespace simdx {
 
+// FNV-1a over raw answer bytes — the value-level half of StatsFingerprint,
+// exposed on its own because the service's BATCHED answers need it: a
+// multi-source run legitimately has different simulated stats than N
+// one-shot runs (one traversal instead of N), so the batched/cached oracle
+// is bit-equality of the PER-SOURCE answer bytes, not of the run stats.
+inline uint64_t ValueBytesFingerprint(const void* data, size_t size) {
+  uint64_t hash = 1469598103934665603ull;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash = (hash ^ bytes[i]) * 1099511628211ull;
+  }
+  return hash;
+}
+
 template <typename Value>
 std::string StatsFingerprint(const RunResult<Value>& r) {
-  uint64_t values_hash = 1469598103934665603ull;
-  const auto* bytes = reinterpret_cast<const unsigned char*>(r.values.data());
-  for (size_t i = 0; i < r.values.size() * sizeof(Value); ++i) {
-    values_hash = (values_hash ^ bytes[i]) * 1099511628211ull;
-  }
+  const uint64_t values_hash =
+      ValueBytesFingerprint(r.values.data(), r.values.size() * sizeof(Value));
   std::ostringstream os;
   const CostCounters& c = r.stats.counters;
   os.precision(17);

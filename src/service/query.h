@@ -85,9 +85,33 @@ inline const char* ToString(AdmissionVerdict v) {
   return "?";
 }
 
+// How the service produced an answer. Solo runs carry the one-shot
+// StatsFingerprint contract; batched and cached answers carry the
+// value-level contract instead (value_fingerprint below) — a multi-source
+// batch legitimately has different run telemetry than N solo runs, and a
+// cache hit replays the telemetry of whichever run filled the entry.
+enum class ServedBy : uint8_t {
+  kSolo = 0,     // dedicated engine run for this query alone
+  kBatched = 1,  // demuxed out of a coalesced multi-source run
+  kCache = 2,    // replayed from the result cache, no engine touched
+};
+
+inline const char* ToString(ServedBy s) {
+  switch (s) {
+    case ServedBy::kSolo:
+      return "solo";
+    case ServedBy::kBatched:
+      return "batched";
+    case ServedBy::kCache:
+      return "cache";
+  }
+  return "?";
+}
+
 struct QueryResult {
   uint64_t query_id = 0;
   QueryKind kind = QueryKind::kBfs;
+  ServedBy served = ServedBy::kSolo;
   // Terminal outcome: kCompleted/kResumed (answer is valid), kCancelled,
   // kDeadlineExceeded (possibly without ever running), kFaulted (injected
   // fault survived every retry), kCheckpointSinkFailed.
@@ -95,9 +119,16 @@ struct QueryResult {
   uint32_t attempts = 0;      // RobustRun attempts actually launched
   double queue_ms = 0.0;      // Submit -> dequeue
   double run_ms = 0.0;        // dequeue -> terminal (0 if never ran)
-  // StatsFingerprint of the run — byte-comparable against a one-shot
-  // Engine::Run oracle. Empty when the query never produced an answer.
+  // StatsFingerprint of the run that produced the answer — for a SOLO query
+  // byte-comparable against a one-shot Engine::Run oracle; for a batched
+  // query this is the BATCH run's fingerprint (shared by its members).
+  // Empty when the query never produced an answer.
   std::string fingerprint;
+  // FNV-1a over this query's own output-value bytes, whichever way it was
+  // served: the universal answer oracle. For a BFS query it hashes the level
+  // array, so solo, batched and cached answers to the same question carry
+  // the same digest — the bit-equality contract the batching tests gate on.
+  uint64_t value_fingerprint = 0;
   RunStats stats;
   // Raw output-value bytes (want_values only).
   std::vector<uint8_t> value_bytes;
@@ -124,6 +155,14 @@ struct ServiceStats {
   uint64_t sink_failed = 0;
   uint64_t retries = 0;            // attempts beyond the first, summed
   uint64_t expired_in_queue = 0;   // deadline_exceeded without ever running
+  // Batching/caching telemetry. Cache hits count as admitted + completed in
+  // the identities above (they ARE answered queries); batched_queries counts
+  // members demuxed out of multi-source runs (each also in completed &co).
+  uint64_t batches = 0;            // coalesced multi-source runs launched
+  uint64_t batched_queries = 0;    // queries served out of those runs
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;       // lookups that went on to admission
+  uint64_t cache_evictions = 0;    // LRU evictions (capacity pressure)
   // Overload-shedding ladder transitions, in order (the service-level
   // sibling of RunStats::downgrades, same struct on purpose: `iteration`
   // carries the ladder rung after the transition).

@@ -24,6 +24,15 @@
 //     share the persistent ThreadPool::Global() — nested ParallelFor calls
 //     degrade to the inline serial path, so N workers never deadlock the
 //     pool (see core/parallel.h).
+//   * THROUGHPUT — two opt-in layers make service throughput scale with
+//     USERS rather than cores. Dispatch-side batching (batch_max > 1):
+//     a worker coalesces queued fault-free BFS queries into one bit-parallel
+//     multi-source run (algos/msbfs.h) and demuxes per-query answers from
+//     the settle-time level table; deadlines, cancellation-at-dispatch and
+//     fault containment survive coalescing (a faulted batch retries via the
+//     same RobustRun loop), and every demuxed answer is value-bit-equal to
+//     its one-shot oracle. A result cache (cache_capacity > 0, cache.h)
+//     answers repeat questions inside Submit without touching an arena.
 //   * OVERLOAD — a two-rung shedding ladder keyed on queue occupancy,
 //     recorded as DowngradeEvents exactly like the engine's in-run ladder:
 //     rung 1 (>= high_water) halves the deadline-admission margin; rung 2
@@ -46,6 +55,7 @@
 #include "core/fault.h"
 #include "core/options.h"
 #include "graph/graph.h"
+#include "service/cache.h"
 #include "service/query.h"
 #include "simt/device.h"
 
@@ -65,6 +75,24 @@ struct ServiceOptions {
   double high_water = 0.75;   // rung 1: strict deadline admission
   double rung2_water = 0.95;  // rung 2: serial queries
   double low_water = 0.5;     // hysteresis: step back down below this
+  // Dispatch-side batching: a worker popping a fault-free BFS query also
+  // claims up to batch_max - 1 more fault-free BFS queries from the queue
+  // and answers them all with ONE bit-parallel multi-source run (MS-BFS
+  // lane masks), demuxing per-query results at settle time. Clamped to 64
+  // (the lane width). Default 1 = off: coalescing changes the per-query
+  // run telemetry (members share the batch's RunStats), so the solo
+  // one-shot fingerprint contract stays the default and throughput-minded
+  // callers opt in. Fault-armed queries never batch — their containment
+  // story is per-query by design.
+  uint32_t batch_max = 1;
+  // Result cache entries (0 = off). Keyed on (kind, source, params, graph
+  // version); hits resolve inside Submit without touching a worker arena.
+  size_t cache_capacity = 0;
+  // Start with dispatch paused: Submit admits and queues, but no worker
+  // picks anything up until Resume(). Lets tests and benches compose a
+  // queue deterministically and then watch one dispatch decision (e.g. "do
+  // these 48 queries coalesce into one batch?"). Shutdown auto-resumes.
+  bool start_paused = false;
 };
 
 class GraphService {
@@ -93,6 +121,17 @@ class GraphService {
   // resolves (kCancelled, or its natural outcome if it won the race).
   bool Cancel(uint64_t query_id);
 
+  // Releases a start_paused service's workers. Idempotent. A paused service
+  // must be resumed before Drain() can return (Shutdown resumes for you).
+  void Resume();
+
+  // Bumps the graph-version epoch and purges the result cache when the
+  // version actually changes: entries keyed under the old version can never
+  // be served again. The CSR itself is immutable — this models the epoch a
+  // graph-reload control plane would own.
+  void SetGraphVersion(uint64_t version);
+  uint64_t graph_version() const;
+
   // Blocks until every admitted query has reached a terminal outcome.
   void Drain();
 
@@ -110,6 +149,13 @@ class GraphService {
 
   void WorkerLoop(uint32_t worker_index);
   void RunTask(Task& task, WorkerArena& arena);
+  // Coalesced dispatch: answers every batch member from one multi-source
+  // run (falls back to RunTask for an effective batch of one, so singleton
+  // "batches" keep the solo fingerprint contract).
+  void RunBatch(std::vector<std::unique_ptr<Task>>& batch, WorkerArena& arena);
+  // Ledger bookkeeping for one retired result; caller holds mu_.
+  void CountOutcomeLocked(const QueryResult& result, bool ran);
+  void MaybeCacheFillLocked(const Task& task, const QueryResult& result);
   // Ladder transitions; callers hold mu_.
   void StepLadderLocked();
   double EwmaMsLocked(QueryKind kind) const;
@@ -127,11 +173,21 @@ class GraphService {
   uint64_t next_query_id_ = 1;
   uint32_t in_flight_ = 0;  // dequeued, not yet retired
   bool stopping_ = false;
+  bool paused_ = false;
   uint32_t rung_ = 0;
   ServiceStats stats_;
   // Per-kind EWMA of run_ms (0 = no sample yet), feeding predictive
-  // deadline shedding.
+  // deadline shedding. One sample per engine RUN, not per query: a batch
+  // contributes its wall time once, so the estimator prices a queue of 48
+  // coalescible BFS queries as ceil(48 / batch_max) runs instead of 48 —
+  // without this, warmup-priced per-query estimates over-shed exactly the
+  // queries batching makes cheap.
   double ewma_ms_[4] = {0.0, 0.0, 0.0, 0.0};
+  // Queued (not yet dequeued) queries per kind, for the batch-aware
+  // backlog estimate above.
+  uint64_t queued_by_kind_[4] = {0, 0, 0, 0};
+  uint64_t graph_version_ = 0;
+  ResultCache cache_;
 
   std::vector<std::thread> workers_;
 };

@@ -165,6 +165,50 @@ TEST(CombineCapabilityTest, BfsDeclarationEnforced) {
   }
 }
 
+TEST(CombineCapabilityTest, MsBfsDeclarationEnforced) {
+  MsBfsState state;
+  MsBfsInit(&state, {0, 1, 2, 3}, 8);
+  MsBfsProgram p;
+  p.state = &state;
+  EnforceAssociativeLaws(
+      p, [](std::mt19937_64& rng) { return rng() & 0xFull; },
+      [](uint64_t a, uint64_t b) { return a == b; });
+  // The fold promise through Apply, INCLUDING the settle-time side effect:
+  // OR-folding two records then applying once must produce the same mask
+  // and stamp the same levels as applying each record in sequence (bits are
+  // idempotent under OR and a bit's level is written only on first
+  // arrival, so grouping cannot move a stamp).
+  std::mt19937_64 rng(41);
+  for (int t = 0; t < 300; ++t) {
+    const uint64_t old_value = rng() & 0xFull;
+    const uint64_t r1 = rng() & 0xFull;
+    const uint64_t r2 = rng() & 0xFull;
+    state.depth = 1 + static_cast<uint32_t>(t % 3);
+    auto stamp_row = [&](VertexId v) {
+      const uint32_t lanes = state.lanes();
+      return std::vector<uint32_t>(state.levels.begin() + v * lanes,
+                                   state.levels.begin() + (v + 1) * lanes);
+    };
+    // Vertex 6 takes the folded update, vertex 7 the sequential pair; both
+    // start from identical (never-settled) rows.
+    const uint64_t folded =
+        p.Apply(6, p.Combine(r1, r2), old_value, Direction::kPush);
+    const uint64_t seq = p.Apply(
+        7, r2, p.Apply(7, r1, old_value, Direction::kPush), Direction::kPush);
+    EXPECT_EQ(folded, seq) << "apply-fold equivalence, trial " << t;
+    EXPECT_EQ(stamp_row(6), stamp_row(7)) << "settle-stamp equivalence, trial "
+                                          << t;
+    // Reset the two scratch rows (and their settled census) per trial.
+    const uint32_t lanes = state.lanes();
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      state.levels[6 * lanes + lane] = kInfinity;
+      state.levels[7 * lanes + lane] = kInfinity;
+    }
+    state.lanes_set[6] = 0;
+    state.lanes_set[7] = 0;
+  }
+}
+
 TEST(CombineCapabilityTest, WccDeclarationEnforced) {
   const Graph g = Graph::FromEdges(GenerateChain(4), false);
   WccProgram p;
