@@ -32,10 +32,10 @@ BenchArgs ParseArgs(int argc, char** argv, const char* help_schema) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--csv" && i + 1 < argc) {
-      args.csv_path = argv[++i];
-    } else if (arg == "--graphs" && i + 1 < argc) {
-      std::istringstream ss(argv[++i]);
+    if (arg == "--csv") {
+      args.csv_path = RequireFlagValue(argc, argv, i, "--csv");
+    } else if (arg == "--graphs") {
+      std::istringstream ss(RequireFlagValue(argc, argv, i, "--graphs"));
       std::string token;
       while (std::getline(ss, token, ',')) {
         if (!token.empty()) {
@@ -206,6 +206,14 @@ double HostNowMs() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+const char* RequireFlagValue(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::cerr << "error: flag " << flag << " requires a value\n";
+    std::exit(2);
+  }
+  return argv[++i];
 }
 
 uint32_t ParseU32Flag(const std::string& s, const char* flag) {

@@ -87,6 +87,14 @@ double GeoMean(const std::vector<double>& values);
 // simulator itself, unlike the simulated times above.
 double HostNowMs();
 
+// The value token following flag argv[i], advancing i past it. A known flag
+// arriving as the LAST token exits(2) with "flag X requires a value" — NOT
+// the unknown-flag usage blurb: before this helper, every parser guarded
+// value flags with `i + 1 < argc` in the match condition, so `--seed` as a
+// trailing token fell through to the unknown-flag branch and the error
+// message blamed the wrong thing.
+const char* RequireFlagValue(int argc, char** argv, int& i, const char* flag);
+
 // Strict uint32 parse; exits(2) with a message naming `flag` on failure.
 uint32_t ParseU32Flag(const std::string& s, const char* flag);
 

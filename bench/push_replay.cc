@@ -92,18 +92,23 @@ Args Parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
-    if (a == "--scale" && i + 1 < argc) {
-      args.scale = bench::ParseU32Flag(argv[++i], "--scale");
-    } else if (a == "--edge-factor" && i + 1 < argc) {
-      args.edge_factor = bench::ParseU32Flag(argv[++i], "--edge-factor");
-    } else if (a == "--seed" && i + 1 < argc) {
-      args.seed = bench::ParseU64Flag(argv[++i], "--seed");
-    } else if (a == "--repeats" && i + 1 < argc) {
-      args.repeats = bench::ParseU32Flag(argv[++i], "--repeats");
-    } else if (a == "--json" && i + 1 < argc) {
-      args.json_path = argv[++i];
-    } else if (a == "--threads" && i + 1 < argc) {
-      args.threads = bench::ParseThreadList(argv[++i], "--threads");
+    if (a == "--scale") {
+      args.scale = bench::ParseU32Flag(
+          bench::RequireFlagValue(argc, argv, i, "--scale"), "--scale");
+    } else if (a == "--edge-factor") {
+      args.edge_factor = bench::ParseU32Flag(
+          bench::RequireFlagValue(argc, argv, i, "--edge-factor"), "--edge-factor");
+    } else if (a == "--seed") {
+      args.seed = bench::ParseU64Flag(
+          bench::RequireFlagValue(argc, argv, i, "--seed"), "--seed");
+    } else if (a == "--repeats") {
+      args.repeats = bench::ParseU32Flag(
+          bench::RequireFlagValue(argc, argv, i, "--repeats"), "--repeats");
+    } else if (a == "--json") {
+      args.json_path = bench::RequireFlagValue(argc, argv, i, "--json");
+    } else if (a == "--threads") {
+      args.threads = bench::ParseThreadList(
+          bench::RequireFlagValue(argc, argv, i, "--threads"), "--threads");
     } else if (a == "--pre-combine") {
       args.pre_combine = true;
     } else if (a == "--pre-combine-collect") {

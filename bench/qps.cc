@@ -19,9 +19,13 @@
 // batch_max=64 with a result cache — plus a replay pass that must be served
 // entirely from the cache. The probe is where batched-vs-unbatched
 // throughput and the bit-equality gates come from.
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <random>
@@ -36,6 +40,8 @@
 #include "core/fingerprint.h"
 #include "core/parallel.h"
 #include "graph/generators.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "service/service.h"
 #include "simt/device.h"
 
@@ -49,6 +55,7 @@ using service::QueryKind;
 using service::QueryResult;
 using service::ServiceOptions;
 using service::ServiceStats;
+namespace wire = service::wire;
 
 struct Args {
   uint32_t scale = 10;
@@ -66,6 +73,8 @@ struct Args {
   double hot_fraction = 0.0; // fraction of queries re-asking a hot BFS set
   std::string json_path;
   bool smoke = false;
+  bool remote = false;       // also exercise the wire codec + socket server
+  uint32_t clients = 4;      // concurrent remote client connections
 };
 
 double ParseDoubleFlag(const std::string& s, const char* flag) {
@@ -81,34 +90,52 @@ Args Parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
-    if (a == "--scale" && i + 1 < argc) {
-      args.scale = ParseU32Flag(argv[++i], "--scale");
-    } else if (a == "--edge-factor" && i + 1 < argc) {
-      args.edge_factor = ParseU32Flag(argv[++i], "--edge-factor");
-    } else if (a == "--graph-seed" && i + 1 < argc) {
-      args.graph_seed = ParseU64Flag(argv[++i], "--graph-seed");
-    } else if (a == "--seed" && i + 1 < argc) {
-      args.seed = ParseU64Flag(argv[++i], "--seed");
-    } else if (a == "--workers" && i + 1 < argc) {
-      args.workers = ParseU32Flag(argv[++i], "--workers");
-    } else if (a == "--queue-capacity" && i + 1 < argc) {
-      args.queue_capacity = ParseU32Flag(argv[++i], "--queue-capacity");
-    } else if (a == "--qps" && i + 1 < argc) {
-      args.target_qps = ParseDoubleFlag(argv[++i], "--qps");
-    } else if (a == "--queries" && i + 1 < argc) {
-      args.queries = ParseU32Flag(argv[++i], "--queries");
-    } else if (a == "--fault-rate" && i + 1 < argc) {
-      args.fault_rate = ParseDoubleFlag(argv[++i], "--fault-rate");
-    } else if (a == "--deadline-ms" && i + 1 < argc) {
-      args.deadline_ms = ParseDoubleFlag(argv[++i], "--deadline-ms");
-    } else if (a == "--batch" && i + 1 < argc) {
-      args.batch = ParseU32Flag(argv[++i], "--batch");
-    } else if (a == "--cache" && i + 1 < argc) {
-      args.cache = ParseU32Flag(argv[++i], "--cache");
-    } else if (a == "--hot-fraction" && i + 1 < argc) {
-      args.hot_fraction = ParseDoubleFlag(argv[++i], "--hot-fraction");
-    } else if (a == "--json" && i + 1 < argc) {
-      args.json_path = argv[++i];
+    if (a == "--scale") {
+      args.scale = ParseU32Flag(
+          RequireFlagValue(argc, argv, i, "--scale"), "--scale");
+    } else if (a == "--edge-factor") {
+      args.edge_factor = ParseU32Flag(
+          RequireFlagValue(argc, argv, i, "--edge-factor"), "--edge-factor");
+    } else if (a == "--graph-seed") {
+      args.graph_seed = ParseU64Flag(
+          RequireFlagValue(argc, argv, i, "--graph-seed"), "--graph-seed");
+    } else if (a == "--seed") {
+      args.seed = ParseU64Flag(
+          RequireFlagValue(argc, argv, i, "--seed"), "--seed");
+    } else if (a == "--workers") {
+      args.workers = ParseU32Flag(
+          RequireFlagValue(argc, argv, i, "--workers"), "--workers");
+    } else if (a == "--queue-capacity") {
+      args.queue_capacity = ParseU32Flag(
+          RequireFlagValue(argc, argv, i, "--queue-capacity"), "--queue-capacity");
+    } else if (a == "--qps") {
+      args.target_qps = ParseDoubleFlag(
+          RequireFlagValue(argc, argv, i, "--qps"), "--qps");
+    } else if (a == "--queries") {
+      args.queries = ParseU32Flag(
+          RequireFlagValue(argc, argv, i, "--queries"), "--queries");
+    } else if (a == "--fault-rate") {
+      args.fault_rate = ParseDoubleFlag(
+          RequireFlagValue(argc, argv, i, "--fault-rate"), "--fault-rate");
+    } else if (a == "--deadline-ms") {
+      args.deadline_ms = ParseDoubleFlag(
+          RequireFlagValue(argc, argv, i, "--deadline-ms"), "--deadline-ms");
+    } else if (a == "--batch") {
+      args.batch = ParseU32Flag(
+          RequireFlagValue(argc, argv, i, "--batch"), "--batch");
+    } else if (a == "--cache") {
+      args.cache = ParseU32Flag(
+          RequireFlagValue(argc, argv, i, "--cache"), "--cache");
+    } else if (a == "--hot-fraction") {
+      args.hot_fraction = ParseDoubleFlag(
+          RequireFlagValue(argc, argv, i, "--hot-fraction"), "--hot-fraction");
+    } else if (a == "--json") {
+      args.json_path = RequireFlagValue(argc, argv, i, "--json");
+    } else if (a == "--remote") {
+      args.remote = true;
+    } else if (a == "--clients") {
+      args.clients = ParseU32Flag(
+          RequireFlagValue(argc, argv, i, "--clients"), "--clients");
     } else if (a == "--smoke") {
       args.smoke = true;
       args.scale = 8;
@@ -129,7 +156,8 @@ Args Parse(int argc, char** argv) {
           << " [--scale N] [--edge-factor N] [--graph-seed N] [--seed N]"
              " [--workers N] [--queue-capacity N] [--qps R] [--queries N]"
              " [--fault-rate F] [--deadline-ms D] [--batch N] [--cache N]"
-             " [--hot-fraction F] [--json out.json] [--smoke]\n\n"
+             " [--hot-fraction F] [--json out.json] [--remote] [--clients N]"
+             " [--smoke]\n\n"
              "Open-loop QPS load harness for the resident GraphService:\n"
              "Poisson arrivals at --qps mixing BFS/SSSP/PPR/k-Core queries,\n"
              "--fault-rate of them armed with per-query fault injection.\n"
@@ -139,6 +167,14 @@ Args Parse(int argc, char** argv) {
              "A closed A/B probe (64-source BFS burst, batching off vs\n"
              "batch_max=64 + cache, plus a cache replay) always runs and\n"
              "feeds the batching/cache JSON sections.\n"
+             "--remote additionally serves the burst over the wire codec:\n"
+             "a SocketServer on a Unix-domain socket (plus a loopback-TCP\n"
+             "sanity check), --clients concurrent BlockingClient threads,\n"
+             "every answer value-bit-compared against its direct-Submit\n"
+             "oracle; a malformed-frame probe (bad magic/version/CRC,\n"
+             "oversized length, torn writes, out-of-range kind) that must\n"
+             "elicit typed rejects; and an in-process loopback A/B gating\n"
+             "codec overhead at <= 5% of direct-Submit time.\n"
              "--smoke shrinks the run and gates (exit 1) on the ledger\n"
              "identities, a per-kind one-shot-oracle fingerprint sample,\n"
              "and value-fingerprint equality of every batched and cached\n"
@@ -160,7 +196,13 @@ Args Parse(int argc, char** argv) {
              "  unbatched_qps, batched_qps, speedup, batched_runs},\n"
              " cache: {open_loop_hit_rate, replay_hits, replay_wall_ms},\n"
              " pool: {submits, contended_submits, inline_runs},\n"
-             " ledger_ok, oracle_ok, batch_oracle_ok, cache_oracle_ok}\n";
+             " remote (with --remote): {clients, responses, mismatches,\n"
+             "  wall_ms, tcp_ok, malformed_ok, direct_ms, loopback_ms,\n"
+             "  codec_ms, codec_overhead, server: {accepted, requests,\n"
+             "  responses, rejects, decode_errors, fatal_decode_errors,\n"
+             "  bytes_rx, bytes_tx}},\n"
+             " ledger_ok, oracle_ok, batch_oracle_ok, cache_oracle_ok\n"
+             " (+ remote_ok, codec_overhead_ok with --remote)}\n";
       std::exit(0);
     } else {
       std::cerr << "usage: " << argv[0]
@@ -168,7 +210,8 @@ Args Parse(int argc, char** argv) {
                    " [--seed N] [--workers N] [--queue-capacity N] [--qps R]"
                    " [--queries N] [--fault-rate F] [--deadline-ms D]"
                    " [--batch N] [--cache N] [--hot-fraction F]"
-                   " [--json out.json] [--smoke] [--help]\n";
+                   " [--json out.json] [--remote] [--clients N]"
+                   " [--smoke] [--help]\n";
       std::exit(2);
     }
   }
@@ -219,6 +262,8 @@ bool OracleSampleMatches(const Graph& g, const ServiceOptions& so) {
       case QueryKind::kKCore:
         oracle = StatsFingerprint(RunKCore(g, q.k, so.device, so.engine));
         break;
+      case QueryKind::kCount:
+        break;  // sentinel, never submitted
     }
     if (!r.ok() || r.fingerprint != oracle) {
       std::cerr << "oracle sample MISMATCH for " << ToString(kind)
@@ -256,6 +301,407 @@ double Percentile(const std::vector<double>& sorted, double p) {
   }
   const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
   return sorted[idx];
+}
+
+// ---- --remote: the wire codec + socket dispatch loop under load ----
+
+struct RemoteReport {
+  bool ran = false;
+  bool remote_ok = true;         // every socket-served answer == its oracle
+  bool malformed_ok = true;      // every hostile frame -> the expected reject
+  bool tcp_ok = true;            // loopback-TCP round trip
+  bool codec_overhead_ok = true; // codec_ms <= 5% of direct_ms
+  uint64_t responses = 0;
+  uint64_t mismatches = 0;
+  double wall_ms = 0.0;     // concurrent-client phase
+  double direct_ms = 0.0;   // A: burst via plain Submit
+  double loopback_ms = 0.0; // B: burst via encode->decode->Submit->encode->decode
+  double codec_ms = 0.0;    // codec-only time accumulated inside pass B
+  double codec_overhead = 0.0;  // codec_ms / direct_ms
+  service::ServerStats server;
+};
+
+double NowWallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RemoteReport RunRemote(const Graph& g, const ServiceOptions& base,
+                       const std::vector<VertexId>& burst,
+                       const std::vector<uint64_t>& oracle_vfp,
+                       uint32_t client_threads) {
+  RemoteReport rep;
+  rep.ran = true;
+
+  // Wire-path focus: batching and caching equality are already gated by the
+  // closed probe, so the remote service answers solo — every socket answer
+  // is a fresh engine run compared bit-for-bit against its one-shot oracle.
+  ServiceOptions so = base;
+  so.batch_max = 1;
+  so.cache_capacity = 0;
+  so.start_paused = false;
+  GraphService svc(g, so);
+
+  service::ServerOptions sopts;
+  {
+    std::ostringstream path;
+    path << "/tmp/simdx_qps_" << ::getpid() << ".sock";
+    sopts.uds_path = path.str();
+  }
+  sopts.tcp = true;  // ephemeral loopback port, sanity-checked below
+  service::SocketServer server(svc, sopts);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::cerr << "remote: server start failed: " << err << "\n";
+    rep.remote_ok = false;
+    svc.Shutdown();
+    return rep;
+  }
+
+  // Phase 1: concurrent process-style clients. Each thread owns one UDS
+  // connection (its own FrameDecoder state, like an independent process) and
+  // round-robins through the burst; want_values pulls the raw level arrays
+  // across the wire so "bit-equal" is checked on the bytes themselves, not
+  // just the fingerprint the server computed.
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> mismatches{0};
+  const uint32_t n_clients = std::max<uint32_t>(1, client_threads);
+  const double t0 = NowWallMs();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n_clients);
+    for (uint32_t c = 0; c < n_clients; ++c) {
+      threads.emplace_back([&, c] {
+        service::BlockingClient cli;
+        std::string e;
+        if (cli.ConnectUds(sopts.uds_path, &e) != service::ClientStatus::kOk) {
+          std::cerr << "remote client " << c << ": connect failed: " << e
+                    << "\n";
+          mismatches.fetch_add(1);
+          return;
+        }
+        for (size_t i = c; i < burst.size(); i += n_clients) {
+          Query q;
+          q.kind = QueryKind::kBfs;
+          q.source = burst[i];
+          q.want_values = true;
+          wire::Frame reply;
+          const auto st = cli.Call(service::ToRequestFrame(q), &reply, &e);
+          if (st != service::ClientStatus::kOk ||
+              reply.type != wire::MsgType::kResponse) {
+            std::cerr << "remote client " << c << ": call for source "
+                      << burst[i] << " failed: " << ToString(st) << " " << e
+                      << "\n";
+            mismatches.fetch_add(1);
+            continue;
+          }
+          const auto& r = reply.response;
+          const uint64_t bytes_vfp =
+              ValueBytesFingerprint(r.value_bytes.data(), r.value_bytes.size());
+          if (r.value_fingerprint != oracle_vfp[i] ||
+              bytes_vfp != oracle_vfp[i]) {
+            std::cerr << "remote: answer for source " << burst[i]
+                      << " diverged from its direct-Submit oracle\n";
+            mismatches.fetch_add(1);
+            continue;
+          }
+          responses.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+  rep.wall_ms = NowWallMs() - t0;
+  rep.responses = responses.load();
+  rep.mismatches = mismatches.load();
+  rep.remote_ok = rep.mismatches == 0 && rep.responses == burst.size();
+
+  // Phase 2: the hostile-frame probe. Every case must come back as a TYPED
+  // reject — never a crash, never silence — and the fatal/recoverable split
+  // must match the codec's IsFatal contract: header-level corruption closes
+  // the stream (frame sync is gone), body-level failures leave the same
+  // connection serving real queries.
+  const auto valid_request_bytes = [&](uint8_t kind_byte) {
+    Query q;
+    q.kind = QueryKind::kBfs;
+    q.source = burst[0];
+    q.want_values = true;
+    wire::RequestFrame f = service::ToRequestFrame(q);
+    f.request_id = 7;
+    f.kind = kind_byte;
+    std::vector<uint8_t> b;
+    wire::EncodeRequest(f, &b);
+    return b;
+  };
+  const uint8_t kBfsByte = static_cast<uint8_t>(QueryKind::kBfs);
+  struct HostileCase {
+    const char* name;
+    std::vector<uint8_t> bytes;
+    wire::RejectCode expect;
+    bool fatal;
+  };
+  std::vector<HostileCase> cases;
+  {
+    auto b = valid_request_bytes(kBfsByte);
+    b[0] ^= 0xFF;  // magic
+    cases.push_back({"bad-magic", b, wire::RejectCode::kBadFrame, true});
+  }
+  {
+    auto b = valid_request_bytes(kBfsByte);
+    b[4] ^= 0xFF;  // version
+    cases.push_back({"bad-version", b, wire::RejectCode::kBadFrame, true});
+  }
+  {
+    auto b = valid_request_bytes(kBfsByte);
+    b.back() ^= 0xFF;  // body byte no longer matches the header CRC
+    cases.push_back({"bad-crc", b, wire::RejectCode::kBadFrame, true});
+  }
+  {
+    // A hostile 4 GiB body_length: refused from the header alone, before
+    // any allocation — no body bytes ever need to arrive.
+    auto b = valid_request_bytes(kBfsByte);
+    b.resize(wire::kFrameHeaderBytes);
+    const uint32_t huge = 0xFFFFFFFFu;
+    std::memcpy(&b[8], &huge, sizeof(huge));
+    cases.push_back({"oversized-length", b, wire::RejectCode::kBadFrame, true});
+  }
+  {
+    // Unknown msg type with a structurally perfect (empty) body: framing
+    // survives, so the connection must keep working after the reject.
+    std::vector<uint8_t> b;
+    ByteWriter w(&b);
+    w.Pod(wire::kFrameMagic);
+    w.Pod(wire::kWireVersion);
+    w.Pod(static_cast<uint16_t>(99));
+    w.Pod(uint32_t{0});
+    w.Pod(Crc32(b.data(), 0));
+    cases.push_back(
+        {"unknown-msg-type", b, wire::RejectCode::kMalformedBody, false});
+  }
+  {
+    // CRC-valid garbage body under a request header.
+    const std::vector<uint8_t> body = {1, 2, 3};
+    std::vector<uint8_t> b;
+    ByteWriter w(&b);
+    w.Pod(wire::kFrameMagic);
+    w.Pod(wire::kWireVersion);
+    w.Pod(static_cast<uint16_t>(wire::MsgType::kRequest));
+    w.Pod(static_cast<uint32_t>(body.size()));
+    w.Pod(Crc32(body.data(), body.size()));
+    w.Bytes(body.data(), body.size());
+    cases.push_back(
+        {"garbage-body", b, wire::RejectCode::kMalformedBody, false});
+  }
+  {
+    // Structurally valid frame whose kind byte is outside QueryKind: the
+    // codec passes it through (structure, not range) and ADMISSION refuses
+    // it — the cross-layer contract of the kind-byte bound-guard fix.
+    cases.push_back({"out-of-range-kind", valid_request_bytes(200),
+                     wire::RejectCode::kInvalidQuery, false});
+  }
+  for (const auto& hc : cases) {
+    service::BlockingClient cli;
+    std::string e;
+    if (cli.ConnectUds(sopts.uds_path, &e) != service::ClientStatus::kOk) {
+      std::cerr << "remote probe " << hc.name << ": connect failed: " << e
+                << "\n";
+      rep.malformed_ok = false;
+      continue;
+    }
+    if (cli.SendRaw(hc.bytes.data(), hc.bytes.size(), &e) !=
+        service::ClientStatus::kOk) {
+      std::cerr << "remote probe " << hc.name << ": send failed: " << e << "\n";
+      rep.malformed_ok = false;
+      continue;
+    }
+    wire::Frame reply;
+    auto st = cli.ReadFrame(&reply, &e);
+    if (st != service::ClientStatus::kOk ||
+        reply.type != wire::MsgType::kReject ||
+        reply.reject.code != static_cast<uint8_t>(hc.expect)) {
+      std::cerr << "remote probe " << hc.name
+                << ": expected a typed reject, got status=" << ToString(st)
+                << " " << e << "\n";
+      rep.malformed_ok = false;
+      continue;
+    }
+    if (hc.fatal) {
+      // Frame sync is lost: the server closes after the reject flushes.
+      st = cli.ReadFrame(&reply, &e);
+      if (st != service::ClientStatus::kRecvFailed) {
+        std::cerr << "remote probe " << hc.name
+                  << ": stream survived a fatal decode error\n";
+        rep.malformed_ok = false;
+      }
+    } else {
+      // Framing intact: the SAME connection must still answer a real query.
+      Query q;
+      q.kind = QueryKind::kBfs;
+      q.source = burst[0];
+      q.want_values = true;
+      st = cli.Call(service::ToRequestFrame(q), &reply, &e);
+      if (st != service::ClientStatus::kOk ||
+          reply.type != wire::MsgType::kResponse ||
+          reply.response.value_fingerprint != oracle_vfp[0]) {
+        std::cerr << "remote probe " << hc.name
+                  << ": connection unusable after a recoverable reject\n";
+        rep.malformed_ok = false;
+      }
+    }
+  }
+  {
+    // Torn mid-frame write: a frame split across two sends (with a pause in
+    // between) reassembles through kNeedMore into a normal answer.
+    service::BlockingClient cli;
+    std::string e;
+    const auto b = valid_request_bytes(kBfsByte);
+    wire::Frame reply;
+    if (cli.ConnectUds(sopts.uds_path, &e) != service::ClientStatus::kOk ||
+        cli.SendRaw(b.data(), 10, &e) != service::ClientStatus::kOk ||
+        (std::this_thread::sleep_for(std::chrono::milliseconds(20)),
+         cli.SendRaw(b.data() + 10, b.size() - 10, &e)) !=
+            service::ClientStatus::kOk ||
+        cli.ReadFrame(&reply, &e) != service::ClientStatus::kOk ||
+        reply.type != wire::MsgType::kResponse || reply.response.request_id != 7 ||
+        reply.response.value_fingerprint != oracle_vfp[0]) {
+      std::cerr << "remote probe torn-write: reassembly failed: " << e << "\n";
+      rep.malformed_ok = false;
+    }
+  }
+
+  // Phase 3: loopback-TCP sanity — same server, same answer.
+  {
+    service::BlockingClient cli;
+    std::string e;
+    wire::Frame reply;
+    Query q;
+    q.kind = QueryKind::kBfs;
+    q.source = burst[0];
+    q.want_values = true;
+    if (cli.ConnectTcp("127.0.0.1", server.tcp_port(), &e) !=
+            service::ClientStatus::kOk ||
+        cli.Call(service::ToRequestFrame(q), &reply, &e) !=
+            service::ClientStatus::kOk ||
+        reply.type != wire::MsgType::kResponse ||
+        reply.response.value_fingerprint != oracle_vfp[0]) {
+      std::cerr << "remote: TCP round trip failed: " << e << "\n";
+      rep.tcp_ok = false;
+    }
+  }
+
+  rep.server = server.stats();
+  server.Stop();
+  svc.Shutdown();
+
+  // Phase 4: in-process loopback A/B — what does the codec itself cost?
+  // Pass A answers the burst via plain Submit; pass B runs the full wire
+  // shape without sockets (encode request -> decode -> Submit -> encode
+  // response -> decode) and accumulates the codec-only time with a
+  // fine-grained clock. The gate is codec_ms <= 5% of direct_ms: engine
+  // runs are milliseconds and frames are microseconds, and gating on the
+  // accumulated codec time (rather than B-minus-A wall time) keeps the 5%
+  // check meaningful on a noisy single-core CI box.
+  {
+    GraphService direct(g, so);
+    const double a0 = NowWallMs();
+    for (VertexId s : burst) {
+      Query q;
+      q.kind = QueryKind::kBfs;
+      q.source = s;
+      q.want_values = true;
+      auto ticket = direct.Submit(q);
+      if (ticket.verdict == AdmissionVerdict::kAdmitted) {
+        ticket.result.get();
+      }
+    }
+    rep.direct_ms = NowWallMs() - a0;
+    direct.Shutdown();
+  }
+  {
+    GraphService loop(g, so);
+    wire::FrameDecoder req_dec;
+    wire::FrameDecoder resp_dec;
+    // Reused across iterations the way a real dispatch loop reuses its
+    // per-connection buffers — per-frame allocation is not a codec cost.
+    std::vector<uint8_t> req_bytes;
+    std::vector<uint8_t> resp_bytes;
+    double codec_ms = 0.0;
+    const double b0 = NowWallMs();
+    for (size_t i = 0; i < burst.size(); ++i) {
+      Query q;
+      q.kind = QueryKind::kBfs;
+      q.source = burst[i];
+      q.want_values = true;
+      wire::RequestFrame rf = service::ToRequestFrame(q);
+      rf.request_id = i + 1;
+
+      double c0 = NowWallMs();
+      req_bytes.clear();
+      wire::EncodeRequest(rf, &req_bytes);
+      req_dec.Feed(req_bytes.data(), req_bytes.size());
+      wire::Frame in;
+      const auto dst = req_dec.Next(&in);
+      codec_ms += NowWallMs() - c0;
+      if (dst != wire::DecodeStatus::kOk || in.type != wire::MsgType::kRequest) {
+        std::cerr << "loopback: request round trip failed\n";
+        rep.remote_ok = false;
+        break;
+      }
+
+      // Rebuild the Query exactly the way the dispatch loop does.
+      Query dq;
+      dq.kind = static_cast<QueryKind>(in.request.kind);
+      dq.source = in.request.source;
+      dq.k = in.request.k;
+      dq.deadline_ms = in.request.deadline_rel_ms;
+      dq.max_attempts = in.request.max_attempts;
+      dq.want_values = in.request.want_values != 0;
+      dq.fault_spec = in.request.fault_spec;
+      auto ticket = loop.Submit(dq);
+      if (ticket.verdict != AdmissionVerdict::kAdmitted) {
+        std::cerr << "loopback: burst query not admitted\n";
+        rep.remote_ok = false;
+        break;
+      }
+      QueryResult r = ticket.result.get();
+
+      c0 = NowWallMs();
+      wire::ResponseFrame out;
+      out.request_id = in.request.request_id;
+      out.kind = static_cast<uint8_t>(r.kind);
+      out.outcome = static_cast<uint8_t>(r.outcome);
+      out.served = static_cast<uint8_t>(r.served);
+      out.attempts = r.attempts;
+      out.queue_ms = r.queue_ms;
+      out.run_ms = r.run_ms;
+      out.value_fingerprint = r.value_fingerprint;
+      out.value_bytes = std::move(r.value_bytes);
+      resp_bytes.clear();
+      wire::EncodeResponse(out, &resp_bytes);
+      resp_dec.Feed(resp_bytes.data(), resp_bytes.size());
+      wire::Frame back;
+      const auto bst = resp_dec.Next(&back);
+      codec_ms += NowWallMs() - c0;
+      if (bst != wire::DecodeStatus::kOk ||
+          back.type != wire::MsgType::kResponse ||
+          back.response.value_fingerprint != oracle_vfp[i]) {
+        std::cerr << "loopback: response " << i
+                  << " diverged from its oracle\n";
+        rep.remote_ok = false;
+        break;
+      }
+    }
+    rep.loopback_ms = NowWallMs() - b0;
+    rep.codec_ms = codec_ms;
+    loop.Shutdown();
+  }
+  rep.codec_overhead =
+      rep.direct_ms > 0.0 ? rep.codec_ms / rep.direct_ms : 0.0;
+  rep.codec_overhead_ok = rep.codec_overhead <= 0.05;
+  return rep;
 }
 
 int Main(int argc, char** argv) {
@@ -302,7 +748,7 @@ int Main(int argc, char** argv) {
     Planned p;
     clock_s += gap_s(rng);
     p.at_s = clock_s;
-    p.query.kind = static_cast<QueryKind>(rng() % 4);
+    p.query.kind = static_cast<QueryKind>(rng() % service::kQueryKindCount);
     p.query.source = static_cast<VertexId>(rng() % g.vertex_count());
     p.query.k = 2 + static_cast<uint32_t>(rng() % 3);
     p.query.deadline_ms = args.deadline_ms;
@@ -501,6 +947,12 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // ---- remote mode: the same burst served across the process boundary ----
+  RemoteReport remote;
+  if (args.remote) {
+    remote = RunRemote(g, so, burst, burst_oracle_vfp, args.clients);
+  }
+
   const double wall_s = wall_ms / 1000.0;
   const uint64_t sheds = stats.shed_queue_full + stats.shed_deadline;
   const double shed_rate =
@@ -578,11 +1030,41 @@ int Main(int argc, char** argv) {
        << (pool_after.contended_submits - pool_before.contended_submits)
        << ", \"inline_runs\": "
        << (pool_after.inline_runs - pool_before.inline_runs)
-       << "},\n  \"ledger_ok\": " << (ledger_ok ? "true" : "false")
+       << "},\n";
+  if (remote.ran) {
+    json << "  \"remote\": {\"clients\": " << args.clients
+         << ", \"responses\": " << remote.responses
+         << ", \"mismatches\": " << remote.mismatches
+         << ", \"wall_ms\": " << remote.wall_ms
+         << ", \"tcp_ok\": " << (remote.tcp_ok ? "true" : "false")
+         << ", \"malformed_ok\": " << (remote.malformed_ok ? "true" : "false")
+         << ", \"direct_ms\": " << remote.direct_ms
+         << ", \"loopback_ms\": " << remote.loopback_ms
+         << ", \"codec_ms\": " << remote.codec_ms
+         << ", \"codec_overhead\": " << remote.codec_overhead
+         << ", \"server\": {\"accepted\": " << remote.server.accepted
+         << ", \"requests\": " << remote.server.requests
+         << ", \"responses\": " << remote.server.responses
+         << ", \"rejects\": " << remote.server.rejects
+         << ", \"decode_errors\": " << remote.server.decode_errors
+         << ", \"fatal_decode_errors\": " << remote.server.fatal_decode_errors
+         << ", \"bytes_rx\": " << remote.server.bytes_rx
+         << ", \"bytes_tx\": " << remote.server.bytes_tx
+         << "}},\n";
+  }
+  json << "  \"ledger_ok\": " << (ledger_ok ? "true" : "false")
        << ",\n  \"oracle_ok\": " << (oracle_ok ? "true" : "false")
        << ",\n  \"batch_oracle_ok\": " << (batch_oracle_ok ? "true" : "false")
-       << ",\n  \"cache_oracle_ok\": " << (cache_oracle_ok ? "true" : "false")
-       << "\n}\n";
+       << ",\n  \"cache_oracle_ok\": " << (cache_oracle_ok ? "true" : "false");
+  if (remote.ran) {
+    json << ",\n  \"remote_ok\": "
+         << (remote.remote_ok && remote.malformed_ok && remote.tcp_ok
+                 ? "true"
+                 : "false")
+         << ",\n  \"codec_overhead_ok\": "
+         << (remote.codec_overhead_ok ? "true" : "false");
+  }
+  json << "\n}\n";
 
   if (!args.json_path.empty()) {
     std::ofstream out(args.json_path);
@@ -592,11 +1074,23 @@ int Main(int argc, char** argv) {
   std::cout << json.str();
 
   if (args.smoke) {
-    if (!ledger_ok || !oracle_ok || !batch_oracle_ok || !cache_oracle_ok) {
+    const bool remote_gates_ok =
+        !remote.ran || (remote.remote_ok && remote.malformed_ok &&
+                        remote.tcp_ok && remote.codec_overhead_ok);
+    if (!ledger_ok || !oracle_ok || !batch_oracle_ok || !cache_oracle_ok ||
+        !remote_gates_ok) {
       std::cerr << "SMOKE FAIL: ledger_ok=" << ledger_ok
                 << " oracle_ok=" << oracle_ok
                 << " batch_oracle_ok=" << batch_oracle_ok
-                << " cache_oracle_ok=" << cache_oracle_ok << "\n";
+                << " cache_oracle_ok=" << cache_oracle_ok;
+      if (remote.ran) {
+        std::cerr << " remote_ok=" << remote.remote_ok
+                  << " malformed_ok=" << remote.malformed_ok
+                  << " tcp_ok=" << remote.tcp_ok
+                  << " codec_overhead_ok=" << remote.codec_overhead_ok
+                  << " (codec_overhead=" << remote.codec_overhead << ")";
+      }
+      std::cerr << "\n";
       return 1;
     }
     std::cerr << "smoke OK\n";

@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include <array>
+#include <cstring>
 #include <fstream>
 
 namespace simdx {
@@ -8,16 +9,28 @@ namespace {
 
 constexpr std::array<char, 8> kMagic = {'S', 'X', 'C', 'K', 'P', 'T', '0', '1'};
 
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 CRC-32 tables: table[0] is the classic bytewise table for the
+// reflected 0xEDB88320 polynomial; table[k] advances a byte through k more
+// zero bytes, which is what lets the hot loop fold 8 input bytes per
+// iteration instead of one. Same polynomial, bit-identical digests — only
+// the throughput changes (matters now that every wire frame body is CRC'd
+// on both sides of the socket, not just checkpoint sections).
+std::array<std::array<uint32_t, 256>, 8> BuildCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] =
+          (tables[k - 1][i] >> 8) ^ tables[0][tables[k - 1][i] & 0xFFu];
+    }
+  }
+  return tables;
 }
 
 uint64_t Fnv1a(const void* data, size_t size, uint64_t h) {
@@ -37,11 +50,28 @@ uint64_t FnvField(const T& v, uint64_t h) {
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
-  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  static const std::array<std::array<uint32_t, 256>, 8> t = BuildCrcTables();
   uint32_t c = seed ^ 0xFFFFFFFFu;
   const auto* p = static_cast<const uint8_t*>(data);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // 8 bytes per iteration; the two-word load + xor matches the reflected
+  // CRC's little-endian bit order, so this arm is LE-only (the bytewise
+  // tail below is the portable fallback and handles the remainder here).
+  while (size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+#endif
   for (size_t i = 0; i < size; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

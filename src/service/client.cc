@@ -1,0 +1,199 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace simdx::service {
+
+namespace {
+
+void SetError(std::string* error, const std::string& what, bool with_errno) {
+  if (error != nullptr) {
+    *error = with_errno ? what + ": " + std::strerror(errno) : what;
+  }
+}
+
+}  // namespace
+
+const char* ToString(ClientStatus s) {
+  switch (s) {
+    case ClientStatus::kOk:
+      return "ok";
+    case ClientStatus::kConnectFailed:
+      return "connect-failed";
+    case ClientStatus::kNotConnected:
+      return "not-connected";
+    case ClientStatus::kSendFailed:
+      return "send-failed";
+    case ClientStatus::kRecvFailed:
+      return "recv-failed";
+    case ClientStatus::kDecodeFailed:
+      return "decode-failed";
+    case ClientStatus::kProtocolError:
+      return "protocol-error";
+  }
+  return "?";
+}
+
+BlockingClient::~BlockingClient() { Close(); }
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = wire::FrameDecoder();
+}
+
+ClientStatus BlockingClient::ConnectUds(const std::string& path,
+                                        std::string* error) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    SetError(error, "uds path", true);
+    return ClientStatus::kConnectFailed;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, "socket", true);
+    return ClientStatus::kConnectFailed;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    SetError(error, "connect " + path, true);
+    Close();
+    return ClientStatus::kConnectFailed;
+  }
+  return ClientStatus::kOk;
+}
+
+ClientStatus BlockingClient::ConnectTcp(const std::string& host, uint16_t port,
+                                        std::string* error) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    SetError(error, "bad address " + host, false);
+    return ClientStatus::kConnectFailed;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, "socket", true);
+    return ClientStatus::kConnectFailed;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    SetError(error, "connect " + host, true);
+    Close();
+    return ClientStatus::kConnectFailed;
+  }
+  return ClientStatus::kOk;
+}
+
+ClientStatus BlockingClient::SendRaw(const void* data, size_t size,
+                                     std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected", false);
+    return ClientStatus::kNotConnected;
+  }
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd_, p + sent, size - sent);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    SetError(error, "write", true);
+    return ClientStatus::kSendFailed;
+  }
+  return ClientStatus::kOk;
+}
+
+ClientStatus BlockingClient::ReadFrame(wire::Frame* reply, std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected", false);
+    return ClientStatus::kNotConnected;
+  }
+  uint8_t buf[16 * 1024];
+  while (true) {
+    const wire::DecodeStatus status = decoder_.Next(reply);
+    if (status == wire::DecodeStatus::kOk) {
+      return ClientStatus::kOk;
+    }
+    if (status != wire::DecodeStatus::kNeedMore) {
+      SetError(error, std::string("decode: ") + ToString(status), false);
+      return ClientStatus::kDecodeFailed;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    SetError(error, n == 0 ? "server closed the connection" : "read",
+             n != 0);
+    return ClientStatus::kRecvFailed;
+  }
+}
+
+ClientStatus BlockingClient::Call(wire::RequestFrame request,
+                                  wire::Frame* reply, std::string* error) {
+  if (request.request_id == 0) {
+    request.request_id = next_request_id_++;
+  }
+  std::vector<uint8_t> bytes;
+  wire::EncodeRequest(request, &bytes);
+  const ClientStatus sent = SendRaw(bytes.data(), bytes.size(), error);
+  if (sent != ClientStatus::kOk) {
+    return sent;
+  }
+  const ClientStatus got = ReadFrame(reply, error);
+  if (got != ClientStatus::kOk) {
+    return got;
+  }
+  const uint64_t echoed = reply->type == wire::MsgType::kResponse
+                              ? reply->response.request_id
+                              : reply->type == wire::MsgType::kReject
+                                    ? reply->reject.request_id
+                                    : 0;
+  // A reject for a header-level error carries request_id 0 (the server
+  // never identified a request) — with one outstanding call it can only be
+  // ours, so accept it; anything else that mismatches is a protocol bug.
+  if (reply->type == wire::MsgType::kRequest ||
+      (echoed != request.request_id && echoed != 0)) {
+    SetError(error, "reply correlates to a different request", false);
+    return ClientStatus::kProtocolError;
+  }
+  return ClientStatus::kOk;
+}
+
+wire::RequestFrame ToRequestFrame(const Query& query) {
+  wire::RequestFrame f;
+  f.kind = static_cast<uint8_t>(query.kind);
+  f.source = query.source;
+  f.k = query.k;
+  f.deadline_rel_ms = query.deadline_ms;  // relative stays relative
+  f.max_attempts = query.max_attempts;
+  f.want_values = query.want_values ? 1 : 0;
+  f.fault_spec = query.fault_spec;
+  return f;
+}
+
+}  // namespace simdx::service

@@ -20,7 +20,23 @@ enum class QueryKind : uint8_t {
   kSssp = 1,
   kPpr = 2,
   kKCore = 3,
+  // Sentinel, NOT a kind: the service's per-kind arrays (EWMA estimators,
+  // queued-by-kind backlog counts) are sized by it and statically pinned to
+  // it, so adding a kind without growing them is a compile error instead of
+  // a silent out-of-bounds index. Every switch over QueryKind lists it
+  // explicitly (as unreachable) to keep -Wswitch exhaustiveness working.
+  kCount = 4,
 };
+
+inline constexpr uint8_t kQueryKindCount =
+    static_cast<uint8_t>(QueryKind::kCount);
+
+// Bound guard for kind bytes of UNTRUSTED origin — a decoded wire byte, a
+// caller-cast integer. Admission applies it before any per-kind array is
+// indexed: an out-of-range kind is kRejectedInvalid, never an index.
+inline constexpr bool IsValidQueryKind(uint8_t raw) {
+  return raw < kQueryKindCount;
+}
 
 inline const char* ToString(QueryKind k) {
   switch (k) {
@@ -32,6 +48,8 @@ inline const char* ToString(QueryKind k) {
       return "ppr";
     case QueryKind::kKCore:
       return "kcore";
+    case QueryKind::kCount:
+      break;  // sentinel, unreachable for valid kinds
   }
   return "?";
 }
@@ -45,6 +63,11 @@ struct Query {
   // Coreness threshold for kKCore (ignored otherwise; 0 is invalid).
   uint32_t k = 16;
   // End-to-end deadline from Submit(), queueing included. 0 = none.
+  // RELATIVE milliseconds — this is the ONLY public deadline contract, and
+  // it is what the wire codec carries (codec.h deadline_rel_ms): the
+  // service's absolute steady-clock domain is private to its process, so a
+  // remote client could never produce a meaningful absolute value. Submit
+  // converts to absolute on ITS clock at admission, nowhere else.
   // Admission sheds predictively (kShedDeadline) when the backlog estimate
   // already exceeds it; a query whose deadline lapses while queued comes
   // back kDeadlineExceeded without running; the remainder becomes the run's

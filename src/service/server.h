@@ -1,0 +1,145 @@
+// SocketServer: the poll-based dispatch loop that turns GraphService into a
+// cross-PROCESS service — the slurmdbd proc_req shape: accept connections on
+// Unix-domain and/or loopback-TCP listeners, reassemble length-prefixed
+// frames out of whatever the sockets deliver (codec.h FrameDecoder), submit
+// decoded requests into the EXISTING admission path (GraphService::Submit —
+// the server adds no second admission policy), and write each response frame
+// when its query's future resolves. Responses complete out of order over one
+// connection; the client-chosen request_id correlates them.
+//
+// Error discipline (the PR 6 untrusted-bytes contract, now at the socket):
+// every decode failure is answered with a TYPED reject frame, never a crash
+// and never a silent drop. Header-level failures (bad magic/version, an
+// oversized length, a CRC mismatch) poison the stream — there is no longer
+// a trustworthy next-frame boundary — so the connection is closed after the
+// reject flushes. Body-level failures (unknown msg type, malformed body)
+// keep the connection: the header walked the body correctly, framing is
+// intact. Admission verdicts map to their own reject codes, so a remote
+// client sees exactly the shed/reject taxonomy an in-process caller gets
+// from Ticket::verdict.
+//
+// Threading: one dispatch thread owns every fd and every connection state;
+// GraphService worker threads resolve the futures the loop polls. Stats are
+// mutex-guarded for cross-thread reads. The loop sleeps in poll(2) — a
+// self-pipe wakes it for Stop(), and a short poll timeout bounds
+// future-resolution latency while queries are in flight.
+#ifndef SIMDX_SERVICE_SERVER_H_
+#define SIMDX_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/codec.h"
+#include "service/service.h"
+
+namespace simdx::service {
+
+struct ServerOptions {
+  // Unix-domain listener path (empty = no UDS listener). The path is
+  // unlinked on bind and again on Stop.
+  std::string uds_path;
+  // Loopback TCP listener on 127.0.0.1 (off by default). Port 0 binds an
+  // ephemeral port; the resolved port is available from tcp_port() after
+  // Start. At least one listener must be configured.
+  bool tcp = false;
+  uint16_t tcp_port = 0;
+  // Accepted connections beyond this are closed immediately (counted in
+  // stats().overflow_closed) — the socket-level sibling of the bounded
+  // admission queue.
+  uint32_t max_connections = 64;
+  // Dispatch-loop poll timeout while responses are pending, in ms. Bounds
+  // how stale a resolved future can sit before its response frame is
+  // written. The idle timeout (nothing pending) is fixed at 100 ms; Stop()
+  // wakes the loop immediately through the self-pipe either way.
+  int busy_poll_ms = 1;
+};
+
+// Monotonic dispatch-loop ledger, readable while the loop runs.
+struct ServerStats {
+  uint64_t accepted = 0;          // connections accepted
+  uint64_t overflow_closed = 0;   // accepts refused at max_connections
+  uint64_t closed = 0;            // connections retired (any reason)
+  uint64_t bytes_rx = 0;
+  uint64_t bytes_tx = 0;
+  uint64_t requests = 0;          // well-formed request frames decoded
+  uint64_t responses = 0;         // response frames written
+  uint64_t rejects = 0;           // reject frames written (all codes)
+  uint64_t decode_errors = 0;     // frames refused by the codec
+  uint64_t fatal_decode_errors = 0;  // subset that also closed the stream
+};
+
+class SocketServer {
+ public:
+  // The service must outlive the server. The server never touches the
+  // service's internals — it is a pure client of Submit().
+  SocketServer(GraphService& service, ServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds the configured listeners and starts the dispatch thread. False on
+  // any bind/listen failure (*error names the step); no partial listeners
+  // survive a failed Start.
+  bool Start(std::string* error);
+
+  // Closes listeners and connections and joins the dispatch thread.
+  // In-flight queries keep running inside GraphService (it owns them); their
+  // responses are simply no longer deliverable. Idempotent.
+  void Stop();
+
+  // Resolved TCP port (after Start, when options.tcp).
+  uint16_t tcp_port() const { return resolved_tcp_port_; }
+  const std::string& uds_path() const { return options_.uds_path; }
+
+  ServerStats stats() const;
+
+ private:
+  struct PendingReply {
+    uint64_t request_id = 0;
+    uint8_t kind = 0;
+    bool want_values = false;
+    std::future<QueryResult> future;
+  };
+  struct Connection {
+    int fd = -1;
+    wire::FrameDecoder decoder;
+    std::vector<uint8_t> out;  // encoded frames awaiting the socket
+    size_t out_pos = 0;
+    std::vector<PendingReply> pending;
+    bool closing = false;  // flush out, then close (fatal decode error)
+  };
+
+  void Loop();
+  void HandleReadable(Connection& conn);
+  void HandleRequest(Connection& conn, const wire::RequestFrame& req);
+  void PollPending(Connection& conn);
+  void FlushWrites(Connection& conn);
+  void EnqueueReject(Connection& conn, uint64_t request_id,
+                     wire::RejectCode code, const std::string& detail);
+  void CloseConnection(Connection& conn);
+
+  GraphService& service_;
+  const ServerOptions options_;
+  int uds_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  uint16_t resolved_tcp_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() -> poll wakeup
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread loop_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace simdx::service
+
+#endif  // SIMDX_SERVICE_SERVER_H_

@@ -125,9 +125,12 @@ GraphService::Ticket GraphService::Submit(const Query& query) {
     return ticket;
   }
 
-  // --- Validation: nothing malformed may reach the engine.
-  bool valid = true;
-  if (query.kind != QueryKind::kKCore &&
+  // --- Validation: nothing malformed may reach the engine. The kind bound
+  // guard runs FIRST: every later step (cache key, EWMA, queued_by_kind_)
+  // indexes per-kind arrays by this byte, and wire-decoded requests hand it
+  // over untrusted — an out-of-range kind must die here as a typed verdict.
+  bool valid = IsValidQueryKind(static_cast<uint8_t>(query.kind));
+  if (valid && query.kind != QueryKind::kKCore &&
       query.source >= graph_.vertex_count()) {
     valid = false;
   }
@@ -468,6 +471,8 @@ void GraphService::RunTask(Task& task, WorkerArena& arena) {
                    program, run_options, keep_values, &result);
         break;
       }
+      case QueryKind::kCount:
+        break;  // unreachable: admission bound-guards the kind byte
     }
     result.run_ms = NowMs() - start_ms;
   }

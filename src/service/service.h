@@ -182,10 +182,22 @@ class GraphService {
   // coalescible BFS queries as ceil(48 / batch_max) runs instead of 48 —
   // without this, warmup-priced per-query estimates over-shed exactly the
   // queries batching makes cheap.
-  double ewma_ms_[4] = {0.0, 0.0, 0.0, 0.0};
+  //
+  // Both arrays are indexed by static_cast<uint8_t>(kind), which admission
+  // bound-guards (IsValidQueryKind) before anything else — a kind byte
+  // decoded off the wire or cast by a caller is kRejectedInvalid, never an
+  // index. The sizes are pinned to the enum's sentinel so adding a kind
+  // without growing them cannot compile.
+  double ewma_ms_[kQueryKindCount] = {};
+  static_assert(sizeof(ewma_ms_) / sizeof(double) ==
+                    static_cast<size_t>(QueryKind::kCount),
+                "per-kind EWMA table must cover every QueryKind");
   // Queued (not yet dequeued) queries per kind, for the batch-aware
   // backlog estimate above.
-  uint64_t queued_by_kind_[4] = {0, 0, 0, 0};
+  uint64_t queued_by_kind_[kQueryKindCount] = {};
+  static_assert(sizeof(queued_by_kind_) / sizeof(uint64_t) ==
+                    static_cast<size_t>(QueryKind::kCount),
+                "per-kind backlog table must cover every QueryKind");
   uint64_t graph_version_ = 0;
   ResultCache cache_;
 

@@ -1,0 +1,261 @@
+// Socket dispatch loop contract: answers over UDS/TCP are bit-equal to
+// direct Submit, hostile bytes elicit typed rejects (fatal ones close the
+// stream, recoverable ones don't), torn writes reassemble, the admission
+// verdict taxonomy crosses the wire intact, and the deadline that crosses is
+// RELATIVE — the TSan CI job runs this test over the dispatch loop's
+// thread + the service workers + concurrent client threads.
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algos/algos.h"
+#include "core/fingerprint.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "service/client.h"
+
+namespace simdx::service {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<Graph>(
+        Graph::FromEdges(GenerateRmat(7, 8, 3), false));
+    ServiceOptions so;
+    so.workers = 2;
+    service_ = std::make_unique<GraphService>(*graph_, so);
+    ServerOptions opts;
+    opts.uds_path = "/tmp/simdx_server_test_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(++instance_) + ".sock";
+    opts.tcp = true;  // ephemeral loopback port
+    server_ = std::make_unique<SocketServer>(*service_, opts);
+    std::string err;
+    ASSERT_TRUE(server_->Start(&err)) << err;
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    service_->Shutdown();
+  }
+
+  uint64_t OracleVfp(VertexId source) {
+    ServiceOptions so;
+    const auto r = RunBfs(*graph_, source, so.device, so.engine);
+    return ValueBytesFingerprint(r.values.data(),
+                                 r.values.size() * sizeof(uint32_t));
+  }
+
+  static wire::RequestFrame BfsRequest(VertexId source) {
+    Query q;
+    q.kind = QueryKind::kBfs;
+    q.source = source;
+    q.want_values = true;
+    return ToRequestFrame(q);
+  }
+
+  static int instance_;
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<GraphService> service_;
+  std::unique_ptr<SocketServer> server_;
+};
+
+int ServerTest::instance_ = 0;
+
+TEST_F(ServerTest, UdsAnswerIsBitEqualToDirectSubmit) {
+  BlockingClient cli;
+  std::string err;
+  ASSERT_EQ(cli.ConnectUds(server_->uds_path(), &err), ClientStatus::kOk)
+      << err;
+  wire::Frame reply;
+  ASSERT_EQ(cli.Call(BfsRequest(0), &reply, &err), ClientStatus::kOk) << err;
+  ASSERT_EQ(reply.type, wire::MsgType::kResponse);
+  const uint64_t oracle = OracleVfp(0);
+  EXPECT_EQ(reply.response.value_fingerprint, oracle);
+  EXPECT_EQ(ValueBytesFingerprint(reply.response.value_bytes.data(),
+                                  reply.response.value_bytes.size()),
+            oracle);
+}
+
+TEST_F(ServerTest, TcpAnswerMatchesToo) {
+  BlockingClient cli;
+  std::string err;
+  ASSERT_EQ(cli.ConnectTcp("127.0.0.1", server_->tcp_port(), &err),
+            ClientStatus::kOk)
+      << err;
+  wire::Frame reply;
+  ASSERT_EQ(cli.Call(BfsRequest(1), &reply, &err), ClientStatus::kOk) << err;
+  ASSERT_EQ(reply.type, wire::MsgType::kResponse);
+  EXPECT_EQ(reply.response.value_fingerprint, OracleVfp(1));
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllGetTheirOwnAnswers) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::vector<uint64_t> oracle;
+  for (int s = 0; s < kClients * kPerClient; ++s) {
+    oracle.push_back(OracleVfp(static_cast<VertexId>(s)));
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      BlockingClient cli;
+      std::string err;
+      if (cli.ConnectUds(server_->uds_path(), &err) != ClientStatus::kOk) {
+        failures[c] = kPerClient;
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const int s = c * kPerClient + i;
+        wire::Frame reply;
+        if (cli.Call(BfsRequest(static_cast<VertexId>(s)), &reply, &err) !=
+                ClientStatus::kOk ||
+            reply.type != wire::MsgType::kResponse ||
+            reply.response.value_fingerprint != oracle[s]) {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+}
+
+TEST_F(ServerTest, RawGarbageGetsBadFrameRejectThenClose) {
+  BlockingClient cli;
+  std::string err;
+  ASSERT_EQ(cli.ConnectUds(server_->uds_path(), &err), ClientStatus::kOk);
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";  // wrong protocol entirely
+  ASSERT_EQ(cli.SendRaw(garbage, sizeof(garbage) - 1, &err), ClientStatus::kOk);
+  wire::Frame reply;
+  ASSERT_EQ(cli.ReadFrame(&reply, &err), ClientStatus::kOk) << err;
+  ASSERT_EQ(reply.type, wire::MsgType::kReject);
+  EXPECT_EQ(reply.reject.code,
+            static_cast<uint8_t>(wire::RejectCode::kBadFrame));
+  // Frame sync is gone: the server closes after flushing the reject.
+  EXPECT_EQ(cli.ReadFrame(&reply, &err), ClientStatus::kRecvFailed);
+}
+
+TEST_F(ServerTest, OutOfRangeKindByteIsInvalidQueryNotACrash) {
+  // The codec carries the hostile byte intact; ADMISSION refuses it before
+  // any per-kind array is indexed (the kind-byte bound-guard fix). The
+  // connection survives — the frame itself was well-formed.
+  BlockingClient cli;
+  std::string err;
+  ASSERT_EQ(cli.ConnectUds(server_->uds_path(), &err), ClientStatus::kOk);
+  wire::RequestFrame rf = BfsRequest(0);
+  rf.kind = 200;
+  wire::Frame reply;
+  ASSERT_EQ(cli.Call(rf, &reply, &err), ClientStatus::kOk) << err;
+  ASSERT_EQ(reply.type, wire::MsgType::kReject);
+  EXPECT_EQ(reply.reject.code,
+            static_cast<uint8_t>(wire::RejectCode::kInvalidQuery));
+  ASSERT_EQ(cli.Call(BfsRequest(0), &reply, &err), ClientStatus::kOk);
+  EXPECT_EQ(reply.type, wire::MsgType::kResponse);
+}
+
+TEST_F(ServerTest, InvalidSourceMapsToInvalidQueryReject) {
+  BlockingClient cli;
+  std::string err;
+  ASSERT_EQ(cli.ConnectUds(server_->uds_path(), &err), ClientStatus::kOk);
+  wire::RequestFrame rf = BfsRequest(0);
+  rf.source = 0xFFFFFFFFu;  // far beyond the loaded graph
+  wire::Frame reply;
+  ASSERT_EQ(cli.Call(rf, &reply, &err), ClientStatus::kOk) << err;
+  ASSERT_EQ(reply.type, wire::MsgType::kReject);
+  EXPECT_EQ(reply.reject.code,
+            static_cast<uint8_t>(wire::RejectCode::kInvalidQuery));
+}
+
+TEST_F(ServerTest, TornWriteReassemblesIntoANormalAnswer) {
+  BlockingClient cli;
+  std::string err;
+  ASSERT_EQ(cli.ConnectUds(server_->uds_path(), &err), ClientStatus::kOk);
+  wire::RequestFrame rf = BfsRequest(2);
+  rf.request_id = 77;
+  std::vector<uint8_t> bytes;
+  wire::EncodeRequest(rf, &bytes);
+  ASSERT_EQ(cli.SendRaw(bytes.data(), 9, &err), ClientStatus::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(cli.SendRaw(bytes.data() + 9, bytes.size() - 9, &err),
+            ClientStatus::kOk);
+  wire::Frame reply;
+  ASSERT_EQ(cli.ReadFrame(&reply, &err), ClientStatus::kOk) << err;
+  ASSERT_EQ(reply.type, wire::MsgType::kResponse);
+  EXPECT_EQ(reply.response.request_id, 77u);
+  EXPECT_EQ(reply.response.value_fingerprint, OracleVfp(2));
+}
+
+TEST_F(ServerTest, GenerousRelativeDeadlineCompletesDespiteTransitDelay) {
+  // The wire deadline is relative to SERVER admission: a client-side pause
+  // between encoding and sending must not erode it (absolute semantics
+  // would make this flaky; relative semantics make it a non-event).
+  BlockingClient cli;
+  std::string err;
+  ASSERT_EQ(cli.ConnectUds(server_->uds_path(), &err), ClientStatus::kOk);
+  wire::RequestFrame rf = BfsRequest(0);
+  rf.deadline_rel_ms = 60000.0;
+  std::vector<uint8_t> bytes;
+  wire::EncodeRequest(rf, &bytes);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // "transit"
+  ASSERT_EQ(cli.SendRaw(bytes.data(), bytes.size(), &err), ClientStatus::kOk);
+  wire::Frame reply;
+  ASSERT_EQ(cli.ReadFrame(&reply, &err), ClientStatus::kOk) << err;
+  ASSERT_EQ(reply.type, wire::MsgType::kResponse);
+  EXPECT_EQ(reply.response.value_fingerprint, OracleVfp(0));
+}
+
+TEST_F(ServerTest, ServerStatsLedgerAddsUp) {
+  BlockingClient cli;
+  std::string err;
+  ASSERT_EQ(cli.ConnectUds(server_->uds_path(), &err), ClientStatus::kOk);
+  wire::Frame reply;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(cli.Call(BfsRequest(static_cast<VertexId>(i)), &reply, &err),
+              ClientStatus::kOk);
+  }
+  wire::RequestFrame bad = BfsRequest(0);
+  bad.kind = 200;
+  ASSERT_EQ(cli.Call(bad, &reply, &err), ClientStatus::kOk);
+  const ServerStats s = server_->stats();
+  EXPECT_GE(s.accepted, 1u);
+  EXPECT_EQ(s.requests, 4u);
+  EXPECT_EQ(s.responses, 3u);
+  EXPECT_EQ(s.rejects, 1u);
+  EXPECT_EQ(s.decode_errors, 0u);
+  EXPECT_GT(s.bytes_rx, 0u);
+  EXPECT_GT(s.bytes_tx, 0u);
+}
+
+// Direct (in-process) admission must enforce the same kind-byte bound guard
+// the wire path relies on — the service-side half of the sweep.
+TEST(AdmissionKindGuardTest, OutOfRangeKindIsRejectedInvalid) {
+  const Graph g = Graph::FromEdges(GenerateRmat(6, 8, 3), false);
+  ServiceOptions so;
+  so.workers = 1;
+  GraphService svc(g, so);
+  Query q;
+  q.kind = static_cast<QueryKind>(200);
+  q.source = 0;
+  auto ticket = svc.Submit(q);
+  EXPECT_EQ(ticket.verdict, AdmissionVerdict::kRejectedInvalid);
+  Query sentinel;
+  sentinel.kind = QueryKind::kCount;  // the sentinel itself is not a kind
+  auto t2 = svc.Submit(sentinel);
+  EXPECT_EQ(t2.verdict, AdmissionVerdict::kRejectedInvalid);
+  svc.Shutdown();
+}
+
+}  // namespace
+}  // namespace simdx::service
