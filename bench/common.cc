@@ -266,6 +266,17 @@ void WarnIfSingleCore() {
   }
 }
 
+bool SanitizedBuild() {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  return true;
+#elif defined(__has_feature)
+  return __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) ||
+         __has_feature(memory_sanitizer);
+#else
+  return false;
+#endif
+}
+
 bool SpeedupGateEnabled(uint32_t min_cores) {
 #if defined(__SANITIZE_THREAD__)
   constexpr bool kTsan = true;

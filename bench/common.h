@@ -117,6 +117,14 @@ void WarnIfSingleCore();
 // speedup expectation is waived (exit 0 as far as this gate is concerned).
 bool SpeedupGateEnabled(uint32_t min_cores);
 
+// True when this binary was built with ANY sanitizer (TSan, ASan, UBSan via
+// the ASan feature probe, MSan). Wall-clock RATIO gates calibrated on
+// release builds (codec overhead, hooks overhead) are waived under
+// sanitizers: instrumentation multiplies memcpy-ish costs far more than
+// engine compute, so the ratio measures the sanitizer, not the code.
+// Correctness gates are never waived.
+bool SanitizedBuild();
+
 // Smoke-mode arming shared by host_scaling and push_replay: when
 // SpeedupGateEnabled(4) holds, extends `threads` to include a 4-thread
 // sample and bumps `repeats` to at least 2 (best-of timing stability), then

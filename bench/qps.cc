@@ -19,6 +19,7 @@
 // batch_max=64 with a result cache — plus a replay pass that must be served
 // entirely from the cache. The probe is where batched-vs-unbatched
 // throughput and the bit-equality gates come from.
+#include <dirent.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -28,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <random>
 #include <sstream>
 #include <string>
@@ -40,7 +42,9 @@
 #include "core/fingerprint.h"
 #include "core/parallel.h"
 #include "graph/generators.h"
+#include "service/chaos.h"
 #include "service/client.h"
+#include "service/retry.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "simt/device.h"
@@ -75,6 +79,9 @@ struct Args {
   bool smoke = false;
   bool remote = false;       // also exercise the wire codec + socket server
   uint32_t clients = 4;      // concurrent remote client connections
+  bool chaos = false;        // serve the burst through the chaos proxy
+  service::ChaosSpec chaos_spec;
+  bool drain = false;        // exercise graceful Drain over the socket
 };
 
 double ParseDoubleFlag(const std::string& s, const char* flag) {
@@ -136,6 +143,20 @@ Args Parse(int argc, char** argv) {
     } else if (a == "--clients") {
       args.clients = ParseU32Flag(
           RequireFlagValue(argc, argv, i, "--clients"), "--clients");
+    } else if (a == "--chaos") {
+      const std::string spec = RequireFlagValue(argc, argv, i, "--chaos");
+      args.chaos = true;
+      if (spec == "default") {
+        args.chaos_spec = service::ChaosSpec::Default();
+      } else {
+        std::string cerr_detail;
+        if (!service::ChaosSpec::Parse(spec, &args.chaos_spec, &cerr_detail)) {
+          std::cerr << "--chaos: " << cerr_detail << "\n";
+          std::exit(2);
+        }
+      }
+    } else if (a == "--drain") {
+      args.drain = true;
     } else if (a == "--smoke") {
       args.smoke = true;
       args.scale = 8;
@@ -157,7 +178,7 @@ Args Parse(int argc, char** argv) {
              " [--workers N] [--queue-capacity N] [--qps R] [--queries N]"
              " [--fault-rate F] [--deadline-ms D] [--batch N] [--cache N]"
              " [--hot-fraction F] [--json out.json] [--remote] [--clients N]"
-             " [--smoke]\n\n"
+             " [--chaos default|SPEC] [--drain] [--smoke]\n\n"
              "Open-loop QPS load harness for the resident GraphService:\n"
              "Poisson arrivals at --qps mixing BFS/SSSP/PPR/k-Core queries,\n"
              "--fault-rate of them armed with per-query fault injection.\n"
@@ -175,6 +196,16 @@ Args Parse(int argc, char** argv) {
              "oversized length, torn writes, out-of-range kind) that must\n"
              "elicit typed rejects; and an in-process loopback A/B gating\n"
              "codec overhead at <= 5% of direct-Submit time.\n"
+             "--chaos serves the burst through an in-process fault-injecting\n"
+             "proxy (spec grammar: seed=N,delay@p=F:ms=F,split@p=F,\n"
+             "stall@p=F:ms=F,dup@p=F,drop@p=F,reset@p=F; 'default' for the\n"
+             "built-in mix) with retrying clients: completed answers must\n"
+             "stay value-bit-equal to their oracles, failures must stay\n"
+             "typed and inside the retry policy's worst-case wall bound,\n"
+             "and the process fd count must return to its baseline.\n"
+             "--drain exercises graceful shutdown over the socket: Drain()\n"
+             "must answer every in-flight request, reject new ones with\n"
+             "server-stopping, and report a clean (no-drop) drain.\n"
              "--smoke shrinks the run and gates (exit 1) on the ledger\n"
              "identities, a per-kind one-shot-oracle fingerprint sample,\n"
              "and value-fingerprint equality of every batched and cached\n"
@@ -201,8 +232,14 @@ Args Parse(int argc, char** argv) {
              "  codec_ms, codec_overhead, server: {accepted, requests,\n"
              "  responses, rejects, decode_errors, fatal_decode_errors,\n"
              "  bytes_rx, bytes_tx}},\n"
+             " chaos (with --chaos): {spec, completed, rejected, failed,\n"
+             "  mismatches, hangs, fd_ok, wall_ms, retry: {...}, proxy: {...},\n"
+             "  server: {...}},\n"
+             " drain (with --drain): {clean, responses, stopping_rejects,\n"
+             "  drained_replies, drain_dropped, wall_ms},\n"
              " ledger_ok, oracle_ok, batch_oracle_ok, cache_oracle_ok\n"
-             " (+ remote_ok, codec_overhead_ok with --remote)}\n";
+             " (+ remote_ok, codec_overhead_ok with --remote;\n"
+             "  chaos_ok with --chaos; drain_ok with --drain)}\n";
       std::exit(0);
     } else {
       std::cerr << "usage: " << argv[0]
@@ -211,7 +248,7 @@ Args Parse(int argc, char** argv) {
                    " [--queries N] [--fault-rate F] [--deadline-ms D]"
                    " [--batch N] [--cache N] [--hot-fraction F]"
                    " [--json out.json] [--remote] [--clients N]"
-                   " [--smoke] [--help]\n";
+                   " [--chaos default|SPEC] [--drain] [--smoke] [--help]\n";
       std::exit(2);
     }
   }
@@ -350,6 +387,14 @@ RemoteReport RunRemote(const Graph& g, const ServiceOptions& base,
     sopts.uds_path = path.str();
   }
   sopts.tcp = true;  // ephemeral loopback port, sanity-checked below
+  // Lifecycle hardening stays ARMED here even though no chaos runs in this
+  // phase: the remote gates (oracle equality, hostile frames, wall time)
+  // thereby measure the resilience hooks' cost on the clean path. The
+  // budgets sit far above anything a healthy run produces — the torn-write
+  // probe's deliberate 20 ms mid-frame pause must survive header_timeout_ms.
+  sopts.idle_timeout_ms = 10000.0;
+  sopts.header_timeout_ms = 2000.0;
+  sopts.max_pipeline = 64;
   service::SocketServer server(svc, sopts);
   std::string err;
   if (!server.Start(&err)) {
@@ -700,7 +745,337 @@ RemoteReport RunRemote(const Graph& g, const ServiceOptions& base,
   }
   rep.codec_overhead =
       rep.direct_ms > 0.0 ? rep.codec_ms / rep.direct_ms : 0.0;
+  // The 5% bound is a release-build claim: sanitizer instrumentation
+  // multiplies the codec's memcpy-ish work far more than engine compute, so
+  // the ratio would measure the sanitizer. Waived there (printed), like
+  // every other wall-clock ratio gate in this harness; the bit-equality and
+  // reject-taxonomy gates above stay enforced everywhere.
   rep.codec_overhead_ok = rep.codec_overhead <= 0.05;
+  if (!rep.codec_overhead_ok && SanitizedBuild()) {
+    std::cerr << "codec-overhead gate SKIPPED: sanitizer build (overhead="
+              << rep.codec_overhead << "; correctness gates still enforced)\n";
+    rep.codec_overhead_ok = true;
+  }
+  return rep;
+}
+
+// ---- --chaos: the burst served through a fault-injecting proxy ----
+
+int CountOpenFds() {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) {
+    return -1;
+  }
+  int n = 0;
+  while (::readdir(d) != nullptr) {
+    ++n;
+  }
+  ::closedir(d);
+  return n;
+}
+
+struct ChaosReport {
+  bool ran = false;
+  bool chaos_ok = true;
+  std::string spec;
+  uint64_t completed = 0;   // kOk responses, value-bit-compared
+  uint64_t rejected = 0;    // typed server rejects (successful transport)
+  uint64_t failed = 0;      // typed client-side transport failures
+  uint64_t mismatches = 0;  // accepted answers that diverged from the oracle
+  uint64_t hangs = 0;       // calls over the retry policy's wall bound
+  bool fd_ok = true;        // fd count returned to its pre-phase baseline
+  double wall_ms = 0.0;
+  service::RetryLedger retry;  // summed across client threads
+  service::ChaosStats proxy;
+  service::ServerStats server;
+};
+
+ChaosReport RunChaos(const Graph& g, const ServiceOptions& base,
+                     const std::vector<VertexId>& burst,
+                     const std::vector<uint64_t>& oracle_vfp,
+                     const service::ChaosSpec& spec, uint32_t client_threads,
+                     bool smoke) {
+  ChaosReport rep;
+  rep.ran = true;
+  rep.spec = spec.Describe();
+  const int fd_baseline = CountOpenFds();
+
+  ServiceOptions so = base;
+  so.batch_max = 1;
+  so.cache_capacity = 0;
+  so.start_paused = false;
+  GraphService svc(g, so);
+
+  service::ServerOptions sopts;
+  {
+    std::ostringstream path;
+    path << "/tmp/simdx_qps_chaos_" << ::getpid() << ".sock";
+    sopts.uds_path = path.str();
+  }
+  // The server defends itself too: chaos-mangled streams must not park
+  // half-frames or idle connections on it.
+  sopts.header_timeout_ms = 500.0;
+  sopts.idle_timeout_ms = 2000.0;
+  sopts.max_pipeline = 8;
+  service::SocketServer server(svc, sopts);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::cerr << "chaos: server start failed: " << err << "\n";
+    rep.chaos_ok = false;
+    svc.Shutdown();
+    return rep;
+  }
+
+  std::string front;
+  {
+    std::ostringstream path;
+    path << "/tmp/simdx_qps_chaosfront_" << ::getpid() << ".sock";
+    front = path.str();
+  }
+  service::ChaosProxy proxy(spec, front, sopts.uds_path);
+  if (!proxy.Start(&err)) {
+    std::cerr << "chaos: proxy start failed: " << err << "\n";
+    rep.chaos_ok = false;
+    server.Stop();
+    svc.Shutdown();
+    return rep;
+  }
+
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> hangs{0};
+  std::mutex ledger_mu;
+  const uint32_t n_clients = std::max<uint32_t>(1, client_threads);
+  const uint32_t calls_each = smoke ? 6 : 12;
+  const double t0 = NowWallMs();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n_clients);
+    for (uint32_t c = 0; c < n_clients; ++c) {
+      threads.emplace_back([&, c] {
+        service::RetryPolicy pol;
+        pol.jitter_seed = c + 1;
+        pol.timeouts = service::ClientTimeouts{1000.0, 1000.0, 3000.0};
+        const double wall_bound_ms = service::MaxCallWallMs(pol) + 2000.0;
+        service::RetryingClient rc(pol);
+        rc.TargetUds(front);
+        for (uint32_t m = 0; m < calls_each; ++m) {
+          const size_t i = (c * calls_each + m) % burst.size();
+          Query q;
+          q.kind = QueryKind::kBfs;
+          q.source = burst[i];
+          q.want_values = true;
+          wire::Frame reply;
+          std::string e;
+          const double c0 = NowWallMs();
+          const auto st = rc.Call(service::ToRequestFrame(q), &reply, &e);
+          if (NowWallMs() - c0 > wall_bound_ms) {
+            hangs.fetch_add(1);
+          }
+          if (st == service::ClientStatus::kOk) {
+            if (reply.type == wire::MsgType::kResponse) {
+              const auto& r = reply.response;
+              const uint64_t bytes_vfp = ValueBytesFingerprint(
+                  r.value_bytes.data(), r.value_bytes.size());
+              if (r.value_fingerprint != oracle_vfp[i] ||
+                  bytes_vfp != oracle_vfp[i]) {
+                std::cerr << "chaos: answer for source " << burst[i]
+                          << " diverged from its oracle\n";
+                mismatches.fetch_add(1);
+              } else {
+                completed.fetch_add(1);
+              }
+            } else {
+              rejected.fetch_add(1);
+            }
+          } else {
+            failed.fetch_add(1);
+          }
+        }
+        rc.Close();
+        const service::RetryLedger& l = rc.ledger();
+        std::lock_guard<std::mutex> lock(ledger_mu);
+        rep.retry.calls += l.calls;
+        rep.retry.ok += l.ok;
+        rep.retry.failed += l.failed;
+        rep.retry.attempts += l.attempts;
+        rep.retry.reconnects += l.reconnects;
+        rep.retry.retried_connect += l.retried_connect;
+        rep.retry.retried_send += l.retried_send;
+        rep.retry.retried_recv += l.retried_recv;
+        rep.retry.retried_timeout += l.retried_timeout;
+        rep.retry.failfast_typed += l.failfast_typed;
+        rep.retry.backoff_ms_total += l.backoff_ms_total;
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+  rep.wall_ms = NowWallMs() - t0;
+  proxy.Stop();
+  rep.proxy = proxy.stats();
+  rep.server = server.stats();
+  server.Stop();
+  svc.Shutdown();
+
+  rep.completed = completed.load();
+  rep.rejected = rejected.load();
+  rep.failed = failed.load();
+  rep.mismatches = mismatches.load();
+  rep.hangs = hangs.load();
+
+  // fd-leak gate: closes can trail the teardown by a poll cycle.
+  const double fd_deadline = NowWallMs() + 5000.0;
+  while (CountOpenFds() > fd_baseline && NowWallMs() < fd_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  rep.fd_ok = CountOpenFds() <= fd_baseline;
+  rep.chaos_ok = rep.mismatches == 0 && rep.hangs == 0 && rep.fd_ok &&
+                 rep.completed > 0;
+  if (!rep.chaos_ok) {
+    std::cerr << "chaos: FAILED (completed=" << rep.completed
+              << " mismatches=" << rep.mismatches << " hangs=" << rep.hangs
+              << " fd_ok=" << rep.fd_ok << ")\n";
+  }
+  return rep;
+}
+
+// ---- --drain: graceful shutdown observed from the wire ----
+
+struct DrainReport {
+  bool ran = false;
+  bool drain_ok = true;
+  bool clean = false;             // Drain() returned true (nothing dropped)
+  uint64_t responses = 0;         // in-flight replies delivered during drain
+  uint64_t stopping_rejects = 0;  // new requests answered kServerStopping
+  uint64_t drained_replies = 0;   // server ledger
+  uint64_t drain_dropped = 0;     // server ledger
+  double wall_ms = 0.0;
+};
+
+DrainReport RunDrain(const Graph& g, const ServiceOptions& base,
+                     const std::vector<VertexId>& burst,
+                     const std::vector<uint64_t>& oracle_vfp) {
+  DrainReport rep;
+  rep.ran = true;
+
+  // start_paused parks the in-flight requests so Drain() demonstrably
+  // happens BEFORE their answers exist — delivery during drain is then the
+  // only way the responses can arrive.
+  ServiceOptions so = base;
+  so.batch_max = 1;
+  so.cache_capacity = 0;
+  so.start_paused = true;
+  GraphService svc(g, so);
+
+  service::ServerOptions sopts;
+  {
+    std::ostringstream path;
+    path << "/tmp/simdx_qps_drain_" << ::getpid() << ".sock";
+    sopts.uds_path = path.str();
+  }
+  service::SocketServer server(svc, sopts);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::cerr << "drain: server start failed: " << err << "\n";
+    rep.drain_ok = false;
+    svc.Shutdown();
+    return rep;
+  }
+
+  service::BlockingClient cli(service::ClientTimeouts{2000.0, 2000.0, 10000.0});
+  std::string e;
+  constexpr uint32_t kInFlight = 4;
+  bool setup_ok =
+      cli.ConnectUds(sopts.uds_path, &e) == service::ClientStatus::kOk;
+  for (uint32_t i = 0; setup_ok && i < kInFlight; ++i) {
+    Query q;
+    q.kind = QueryKind::kBfs;
+    q.source = burst[i % burst.size()];
+    q.want_values = true;
+    wire::RequestFrame rf = service::ToRequestFrame(q);
+    rf.request_id = i + 1;
+    std::vector<uint8_t> b;
+    wire::EncodeRequest(rf, &b);
+    setup_ok = cli.SendRaw(b.data(), b.size(), &e) == service::ClientStatus::kOk;
+  }
+  // The server must have DECODED all of them before Drain starts, or a
+  // late-arriving request would legitimately be a "new" one.
+  const double decode_deadline = NowWallMs() + 5000.0;
+  while (setup_ok && server.stats().requests < kInFlight &&
+         NowWallMs() < decode_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!setup_ok || server.stats().requests < kInFlight) {
+    std::cerr << "drain: setup failed: " << e << "\n";
+    rep.drain_ok = false;
+    server.Stop();
+    svc.Shutdown();
+    return rep;
+  }
+
+  const double t0 = NowWallMs();
+  bool clean = false;
+  std::thread drainer([&] { clean = server.Drain(15000.0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // A request arriving mid-drain must get the typed stopping reject.
+  {
+    Query q;
+    q.kind = QueryKind::kBfs;
+    q.source = burst[0];
+    wire::RequestFrame rf = service::ToRequestFrame(q);
+    rf.request_id = 99;
+    std::vector<uint8_t> b;
+    wire::EncodeRequest(rf, &b);
+    if (cli.SendRaw(b.data(), b.size(), &e) != service::ClientStatus::kOk) {
+      std::cerr << "drain: mid-drain send failed: " << e << "\n";
+      rep.drain_ok = false;
+    }
+  }
+  svc.Resume();  // now the parked answers can materialize
+
+  for (uint32_t i = 0; i < kInFlight + 1; ++i) {
+    wire::Frame reply;
+    if (cli.ReadFrame(&reply, &e) != service::ClientStatus::kOk) {
+      std::cerr << "drain: read " << i << " failed: " << e << "\n";
+      rep.drain_ok = false;
+      break;
+    }
+    if (reply.type == wire::MsgType::kResponse) {
+      const uint64_t want = oracle_vfp[(reply.response.request_id - 1) %
+                                       burst.size()];
+      if (reply.response.value_fingerprint == want) {
+        ++rep.responses;
+      } else {
+        std::cerr << "drain: drained answer diverged from its oracle\n";
+        rep.drain_ok = false;
+      }
+    } else if (reply.type == wire::MsgType::kReject &&
+               reply.reject.code ==
+                   static_cast<uint8_t>(wire::RejectCode::kServerStopping)) {
+      ++rep.stopping_rejects;
+    }
+  }
+  drainer.join();
+  rep.wall_ms = NowWallMs() - t0;
+  rep.clean = clean;
+  const service::ServerStats ss = server.stats();
+  rep.drained_replies = ss.drained_replies;
+  rep.drain_dropped = ss.drain_dropped;
+  svc.Shutdown();
+
+  rep.drain_ok = rep.drain_ok && rep.clean && rep.responses == kInFlight &&
+                 rep.stopping_rejects == 1 && rep.drain_dropped == 0;
+  if (!rep.drain_ok) {
+    std::cerr << "drain: FAILED (clean=" << rep.clean
+              << " responses=" << rep.responses
+              << " stopping_rejects=" << rep.stopping_rejects
+              << " drain_dropped=" << rep.drain_dropped << ")\n";
+  }
   return rep;
 }
 
@@ -953,6 +1328,19 @@ int Main(int argc, char** argv) {
     remote = RunRemote(g, so, burst, burst_oracle_vfp, args.clients);
   }
 
+  // ---- chaos mode: the same burst through the fault-injecting proxy ----
+  ChaosReport chaos;
+  if (args.chaos) {
+    chaos = RunChaos(g, so, burst, burst_oracle_vfp, args.chaos_spec,
+                     args.clients, args.smoke);
+  }
+
+  // ---- drain mode: graceful shutdown observed from the wire ----
+  DrainReport drain;
+  if (args.drain) {
+    drain = RunDrain(g, so, burst, burst_oracle_vfp);
+  }
+
   const double wall_s = wall_ms / 1000.0;
   const uint64_t sheds = stats.shed_queue_full + stats.shed_deadline;
   const double shed_rate =
@@ -1052,6 +1440,57 @@ int Main(int argc, char** argv) {
          << ", \"bytes_tx\": " << remote.server.bytes_tx
          << "}},\n";
   }
+  if (chaos.ran) {
+    json << "  \"chaos\": {\"spec\": \"" << chaos.spec << "\""
+         << ", \"clients\": " << args.clients
+         << ", \"completed\": " << chaos.completed
+         << ", \"rejected\": " << chaos.rejected
+         << ", \"failed\": " << chaos.failed
+         << ", \"mismatches\": " << chaos.mismatches
+         << ", \"hangs\": " << chaos.hangs
+         << ", \"fd_ok\": " << (chaos.fd_ok ? "true" : "false")
+         << ", \"wall_ms\": " << chaos.wall_ms
+         << ", \"retry\": {\"calls\": " << chaos.retry.calls
+         << ", \"ok\": " << chaos.retry.ok
+         << ", \"failed\": " << chaos.retry.failed
+         << ", \"attempts\": " << chaos.retry.attempts
+         << ", \"reconnects\": " << chaos.retry.reconnects
+         << ", \"retried_connect\": " << chaos.retry.retried_connect
+         << ", \"retried_send\": " << chaos.retry.retried_send
+         << ", \"retried_recv\": " << chaos.retry.retried_recv
+         << ", \"retried_timeout\": " << chaos.retry.retried_timeout
+         << ", \"failfast_typed\": " << chaos.retry.failfast_typed
+         << ", \"backoff_ms_total\": " << chaos.retry.backoff_ms_total
+         << "}, \"proxy\": {\"connections\": " << chaos.proxy.connections
+         << ", \"chunks\": " << chaos.proxy.chunks
+         << ", \"delays\": " << chaos.proxy.delays
+         << ", \"splits\": " << chaos.proxy.splits
+         << ", \"stalls\": " << chaos.proxy.stalls
+         << ", \"dups\": " << chaos.proxy.dups
+         << ", \"drops\": " << chaos.proxy.drops
+         << ", \"resets\": " << chaos.proxy.resets
+         << ", \"bytes_in\": " << chaos.proxy.bytes_in
+         << ", \"bytes_out\": " << chaos.proxy.bytes_out
+         << "}, \"server\": {\"accepted\": " << chaos.server.accepted
+         << ", \"requests\": " << chaos.server.requests
+         << ", \"responses\": " << chaos.server.responses
+         << ", \"rejects\": " << chaos.server.rejects
+         << ", \"idle_closed\": " << chaos.server.idle_closed
+         << ", \"header_timeout_closed\": "
+         << chaos.server.header_timeout_closed
+         << ", \"pipeline_rejects\": " << chaos.server.pipeline_rejects
+         << ", \"broken_pipe_writes\": " << chaos.server.broken_pipe_writes
+         << "}},\n";
+  }
+  if (drain.ran) {
+    json << "  \"drain\": {\"clean\": " << (drain.clean ? "true" : "false")
+         << ", \"responses\": " << drain.responses
+         << ", \"stopping_rejects\": " << drain.stopping_rejects
+         << ", \"drained_replies\": " << drain.drained_replies
+         << ", \"drain_dropped\": " << drain.drain_dropped
+         << ", \"wall_ms\": " << drain.wall_ms
+         << "},\n";
+  }
   json << "  \"ledger_ok\": " << (ledger_ok ? "true" : "false")
        << ",\n  \"oracle_ok\": " << (oracle_ok ? "true" : "false")
        << ",\n  \"batch_oracle_ok\": " << (batch_oracle_ok ? "true" : "false")
@@ -1063,6 +1502,12 @@ int Main(int argc, char** argv) {
                  : "false")
          << ",\n  \"codec_overhead_ok\": "
          << (remote.codec_overhead_ok ? "true" : "false");
+  }
+  if (chaos.ran) {
+    json << ",\n  \"chaos_ok\": " << (chaos.chaos_ok ? "true" : "false");
+  }
+  if (drain.ran) {
+    json << ",\n  \"drain_ok\": " << (drain.drain_ok ? "true" : "false");
   }
   json << "\n}\n";
 
@@ -1077,8 +1522,10 @@ int Main(int argc, char** argv) {
     const bool remote_gates_ok =
         !remote.ran || (remote.remote_ok && remote.malformed_ok &&
                         remote.tcp_ok && remote.codec_overhead_ok);
+    const bool chaos_gates_ok = !chaos.ran || chaos.chaos_ok;
+    const bool drain_gates_ok = !drain.ran || drain.drain_ok;
     if (!ledger_ok || !oracle_ok || !batch_oracle_ok || !cache_oracle_ok ||
-        !remote_gates_ok) {
+        !remote_gates_ok || !chaos_gates_ok || !drain_gates_ok) {
       std::cerr << "SMOKE FAIL: ledger_ok=" << ledger_ok
                 << " oracle_ok=" << oracle_ok
                 << " batch_oracle_ok=" << batch_oracle_ok
@@ -1089,6 +1536,12 @@ int Main(int argc, char** argv) {
                   << " tcp_ok=" << remote.tcp_ok
                   << " codec_overhead_ok=" << remote.codec_overhead_ok
                   << " (codec_overhead=" << remote.codec_overhead << ")";
+      }
+      if (chaos.ran) {
+        std::cerr << " chaos_ok=" << chaos.chaos_ok;
+      }
+      if (drain.ran) {
+        std::cerr << " drain_ok=" << drain.drain_ok;
       }
       std::cerr << "\n";
       return 1;

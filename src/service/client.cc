@@ -1,12 +1,15 @@
 #include "service/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -14,9 +17,59 @@ namespace simdx::service {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 void SetError(std::string* error, const std::string& what, bool with_errno) {
   if (error != nullptr) {
     *error = with_errno ? what + ": " + std::strerror(errno) : what;
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Deadline for one operation: budget_ms <= 0 means unbounded.
+Clock::time_point DeadlineFor(double budget_ms) {
+  if (budget_ms <= 0.0) {
+    return Clock::time_point::max();
+  }
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(budget_ms));
+}
+
+// Polls fd for `events` until `deadline`. 1 = ready, 0 = timed out,
+// -1 = poll error (errno set).
+int PollUntil(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    int timeout_ms = -1;
+    if (deadline != Clock::time_point::max()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        return 0;
+      }
+      timeout_ms = static_cast<int>(std::min<int64_t>(left.count(), 60000));
+    }
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) {
+      return 1;  // readable/writable OR error condition; the I/O call decides
+    }
+    if (rc == 0) {
+      if (deadline == Clock::time_point::max()) {
+        continue;  // unbounded: keep parking
+      }
+      if (Clock::now() >= deadline) {
+        return 0;
+      }
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -1;
   }
 }
 
@@ -38,6 +91,8 @@ const char* ToString(ClientStatus s) {
       return "decode-failed";
     case ClientStatus::kProtocolError:
       return "protocol-error";
+    case ClientStatus::kTimedOut:
+      return "timed-out";
   }
   return "?";
 }
@@ -50,6 +105,33 @@ void BlockingClient::Close() {
     fd_ = -1;
   }
   decoder_ = wire::FrameDecoder();
+}
+
+// Non-blocking connect() completion: wait for writability within the connect
+// budget, then read the socket's final verdict from SO_ERROR.
+ClientStatus BlockingClient::FinishConnect(const std::string& what,
+                                           std::string* error) {
+  const int pr = PollUntil(fd_, POLLOUT, DeadlineFor(timeouts_.connect_ms));
+  if (pr == 0) {
+    SetError(error, what + ": connect timed out", false);
+    Close();
+    return ClientStatus::kTimedOut;
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (pr < 0 ||
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    SetError(error, what, true);
+    Close();
+    return ClientStatus::kConnectFailed;
+  }
+  if (so_error != 0) {
+    errno = so_error;
+    SetError(error, what, true);
+    Close();
+    return ClientStatus::kConnectFailed;
+  }
+  return ClientStatus::kOk;
 }
 
 ClientStatus BlockingClient::ConnectUds(const std::string& path,
@@ -68,11 +150,17 @@ ClientStatus BlockingClient::ConnectUds(const std::string& path,
     SetError(error, "socket", true);
     return ClientStatus::kConnectFailed;
   }
+  SetNonBlocking(fd_);
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    SetError(error, "connect " + path, true);
-    Close();
-    return ClientStatus::kConnectFailed;
+    // A UDS connect with a full backlog fails EAGAIN immediately (there is
+    // no in-progress state to poll for) — that IS the typed answer.
+    if (errno != EINPROGRESS) {
+      SetError(error, "connect " + path, true);
+      Close();
+      return ClientStatus::kConnectFailed;
+    }
+    return FinishConnect("connect " + path, error);
   }
   return ClientStatus::kOk;
 }
@@ -92,11 +180,15 @@ ClientStatus BlockingClient::ConnectTcp(const std::string& host, uint16_t port,
     SetError(error, "socket", true);
     return ClientStatus::kConnectFailed;
   }
+  SetNonBlocking(fd_);
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    SetError(error, "connect " + host, true);
-    Close();
-    return ClientStatus::kConnectFailed;
+    if (errno != EINPROGRESS) {
+      SetError(error, "connect " + host, true);
+      Close();
+      return ClientStatus::kConnectFailed;
+    }
+    return FinishConnect("connect " + host, error);
   }
   return ClientStatus::kOk;
 }
@@ -107,10 +199,13 @@ ClientStatus BlockingClient::SendRaw(const void* data, size_t size,
     SetError(error, "not connected", false);
     return ClientStatus::kNotConnected;
   }
+  const auto deadline = DeadlineFor(timeouts_.send_ms);
   const auto* p = static_cast<const uint8_t*>(data);
   size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::write(fd_, p + sent, size - sent);
+    // MSG_NOSIGNAL: a server that closed mid-request is an EPIPE result,
+    // never a SIGPIPE — same discipline as the dispatch loop's writes.
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
@@ -118,7 +213,19 @@ ClientStatus BlockingClient::SendRaw(const void* data, size_t size,
     if (n < 0 && errno == EINTR) {
       continue;
     }
-    SetError(error, "write", true);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int pr = PollUntil(fd_, POLLOUT, deadline);
+      if (pr == 0) {
+        SetError(error, "send timed out", false);
+        return ClientStatus::kTimedOut;
+      }
+      if (pr < 0) {
+        SetError(error, "poll", true);
+        return ClientStatus::kSendFailed;
+      }
+      continue;
+    }
+    SetError(error, "send", true);
     return ClientStatus::kSendFailed;
   }
   return ClientStatus::kOk;
@@ -129,6 +236,9 @@ ClientStatus BlockingClient::ReadFrame(wire::Frame* reply, std::string* error) {
     SetError(error, "not connected", false);
     return ClientStatus::kNotConnected;
   }
+  // One budget for the WHOLE frame: a server trickling bytes cannot reset
+  // the clock per read, so a stalled reply converges to kTimedOut.
+  const auto deadline = DeadlineFor(timeouts_.recv_ms);
   uint8_t buf[16 * 1024];
   while (true) {
     const wire::DecodeStatus status = decoder_.Next(reply);
@@ -144,11 +254,26 @@ ClientStatus BlockingClient::ReadFrame(wire::Frame* reply, std::string* error) {
       decoder_.Feed(buf, static_cast<size_t>(n));
       continue;
     }
-    if (n < 0 && errno == EINTR) {
+    if (n == 0) {
+      SetError(error, "server closed the connection", false);
+      return ClientStatus::kRecvFailed;
+    }
+    if (errno == EINTR) {
       continue;
     }
-    SetError(error, n == 0 ? "server closed the connection" : "read",
-             n != 0);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int pr = PollUntil(fd_, POLLIN, deadline);
+      if (pr == 0) {
+        SetError(error, "recv timed out", false);
+        return ClientStatus::kTimedOut;
+      }
+      if (pr < 0) {
+        SetError(error, "poll", true);
+        return ClientStatus::kRecvFailed;
+      }
+      continue;
+    }
+    SetError(error, "read", true);
     return ClientStatus::kRecvFailed;
   }
 }

@@ -10,6 +10,13 @@
 // a successful round trip whose answer is a RejectFrame (reply->type ==
 // MsgType::kReject), exactly as an in-process caller treats a non-admitted
 // Ticket.
+//
+// Every operation is poll-bounded (ClientTimeouts): a dead or stalled server
+// yields a typed kTimedOut within the configured budget instead of blocking
+// the caller forever. The socket stays non-blocking for its whole life and
+// every write is send(..., MSG_NOSIGNAL) — a peer closing mid-write is an
+// EPIPE errno, never a process-killing SIGPIPE. Timeouts of 0 preserve the
+// legacy block-forever behavior for callers that own their own watchdogs.
 #ifndef SIMDX_SERVICE_CLIENT_H_
 #define SIMDX_SERVICE_CLIENT_H_
 
@@ -29,13 +36,25 @@ enum class ClientStatus : uint8_t {
   kRecvFailed,       // read error / server closed before a reply
   kDecodeFailed,     // reply bytes failed the codec (detail has the status)
   kProtocolError,    // a well-formed frame that answers a different request
+  kTimedOut,         // connect/send/recv exceeded its ClientTimeouts budget
 };
 
 const char* ToString(ClientStatus s);
 
+// Per-operation budgets in milliseconds; 0 = no bound (block indefinitely).
+// recv_ms bounds ONE ReadFrame call end to end — a server that trickles a
+// frame byte-by-byte must finish it inside the budget, so the hostile-frame
+// probes in server_test can never hang CI on a regression.
+struct ClientTimeouts {
+  double connect_ms = 0.0;
+  double send_ms = 0.0;
+  double recv_ms = 0.0;
+};
+
 class BlockingClient {
  public:
   BlockingClient() = default;
+  explicit BlockingClient(ClientTimeouts timeouts) : timeouts_(timeouts) {}
   ~BlockingClient();
 
   BlockingClient(const BlockingClient&) = delete;
@@ -47,6 +66,9 @@ class BlockingClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  void set_timeouts(const ClientTimeouts& t) { timeouts_ = t; }
+  const ClientTimeouts& timeouts() const { return timeouts_; }
+
   // Sends `request` and blocks for the frame that echoes its request_id
   // (response or reject — both are successful calls). request_id is
   // assigned here when the caller left it 0.
@@ -56,13 +78,18 @@ class BlockingClient {
   // Sends raw bytes as-is — the hostile-input path for tests and the
   // malformed-frame probe (torn writes, bad magic, corrupt CRCs), which
   // must elicit typed rejects from the dispatch loop, never a crash.
+  // Bounded by timeouts().send_ms.
   ClientStatus SendRaw(const void* data, size_t size, std::string* error);
-  // Blocks for one frame, whatever it is (pairs with SendRaw).
+  // Blocks for one frame, whatever it is (pairs with SendRaw). Bounded by
+  // timeouts().recv_ms.
   ClientStatus ReadFrame(wire::Frame* reply, std::string* error);
 
  private:
+  ClientStatus FinishConnect(const std::string& what, std::string* error);
+
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  ClientTimeouts timeouts_;
   wire::FrameDecoder decoder_;
 };
 

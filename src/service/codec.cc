@@ -129,6 +129,10 @@ const char* ToString(RejectCode c) {
       return "shed-deadline";
     case RejectCode::kServerStopping:
       return "server-stopping";
+    case RejectCode::kTimedOut:
+      return "timed-out";
+    case RejectCode::kPipelineFull:
+      return "pipeline-full";
   }
   return "?";
 }

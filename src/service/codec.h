@@ -102,6 +102,12 @@ enum class RejectCode : uint8_t {
   kShedQueueFull = 3,  // admission said kShedQueueFull
   kShedDeadline = 4,   // admission said kShedDeadline
   kServerStopping = 5, // the service is draining; retry elsewhere/later
+  // Transport-resilience codes (PR 10). New CODE VALUES, not new layout:
+  // the reject body is unchanged (u64 id, u8 code, string detail), so the
+  // wire version stays at 1 — an old client renders an unknown code as "?"
+  // but parses the frame fine.
+  kTimedOut = 6,       // the connection sat on a partial frame too long
+  kPipelineFull = 7,   // per-connection in-flight pipeline cap reached
 };
 
 const char* ToString(RejectCode c);

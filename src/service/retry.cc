@@ -1,0 +1,152 @@
+#include "service/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace simdx::service {
+
+double RetryBackoffMs(const RetryPolicy& policy, uint32_t retry_index,
+                      std::mt19937_64& rng) {
+  const double base =
+      std::min(policy.backoff_max_ms,
+               policy.backoff_initial_ms *
+                   std::pow(policy.backoff_multiplier,
+                            static_cast<double>(retry_index)));
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const double jittered = base * (1.0 + policy.jitter_fraction * u(rng));
+  return std::max(0.0, jittered);
+}
+
+double MaxCallWallMs(const RetryPolicy& policy) {
+  // Unbounded inner budgets make the bound meaningless; report infinity so a
+  // harness gating on this catches the misconfiguration instead of passing.
+  if (policy.timeouts.connect_ms <= 0.0 || policy.timeouts.send_ms <= 0.0 ||
+      policy.timeouts.recv_ms <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double per_attempt = policy.timeouts.connect_ms +
+                             policy.timeouts.send_ms + policy.timeouts.recv_ms;
+  const uint32_t attempts = std::max<uint32_t>(1, policy.max_attempts);
+  const double backoff_worst =
+      policy.backoff_max_ms * (1.0 + std::abs(policy.jitter_fraction));
+  return attempts * per_attempt + (attempts - 1) * backoff_worst;
+}
+
+bool RetryingClient::IsRetryable(ClientStatus s) {
+  switch (s) {
+    case ClientStatus::kConnectFailed:
+    case ClientStatus::kNotConnected:
+    case ClientStatus::kSendFailed:
+    case ClientStatus::kRecvFailed:
+    case ClientStatus::kTimedOut:
+      return true;
+    case ClientStatus::kOk:
+    case ClientStatus::kDecodeFailed:
+    case ClientStatus::kProtocolError:
+      return false;
+  }
+  return false;
+}
+
+RetryingClient::RetryingClient(RetryPolicy policy)
+    : policy_(policy),
+      client_(policy.timeouts),
+      jitter_rng_(policy.jitter_seed) {}
+
+void RetryingClient::TargetUds(std::string path) {
+  Close();
+  uds_path_ = std::move(path);
+  use_tcp_ = false;
+  has_target_ = true;
+}
+
+void RetryingClient::TargetTcp(std::string host, uint16_t port) {
+  Close();
+  tcp_host_ = std::move(host);
+  tcp_port_ = port;
+  use_tcp_ = true;
+  has_target_ = true;
+}
+
+void RetryingClient::Close() { client_.Close(); }
+
+ClientStatus RetryingClient::Connect(std::string* error) {
+  ++ledger_.reconnects;
+  return use_tcp_ ? client_.ConnectTcp(tcp_host_, tcp_port_, error)
+                  : client_.ConnectUds(uds_path_, error);
+}
+
+ClientStatus RetryingClient::Call(wire::RequestFrame request,
+                                  wire::Frame* reply, std::string* error) {
+  ++ledger_.calls;
+  if (!has_target_) {
+    if (error != nullptr) {
+      *error = "no target set";
+    }
+    ++ledger_.failed;
+    return ClientStatus::kNotConnected;
+  }
+  // Pin the id HERE, not in BlockingClient: a retried attempt must carry the
+  // identical request verbatim so the server-side answer stays correlatable.
+  if (request.request_id == 0) {
+    request.request_id = next_request_id_++;
+  }
+
+  const uint32_t max_attempts = std::max<uint32_t>(1, policy_.max_attempts);
+  ClientStatus last = ClientStatus::kNotConnected;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double sleep_ms = RetryBackoffMs(policy_, attempt - 1, jitter_rng_);
+      ledger_.backoff_ms_total += sleep_ms;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+    ++ledger_.attempts;
+
+    if (!client_.connected()) {
+      last = Connect(error);
+      if (last != ClientStatus::kOk) {
+        ++ledger_.retried_connect;
+        continue;
+      }
+    }
+    last = client_.Call(request, reply, error);
+    if (last == ClientStatus::kOk) {
+      ++ledger_.ok;
+      return last;
+    }
+    if (!IsRetryable(last)) {
+      // The peer is not speaking our protocol (or a codec bug): surface it
+      // immediately — a retry cannot repair either side.
+      ++ledger_.failfast_typed;
+      ++ledger_.failed;
+      Close();
+      return last;
+    }
+    // The connection's state is unknown after any transport failure (a
+    // half-sent request, a half-read reply) — always rebuild from scratch.
+    Close();
+    switch (last) {
+      case ClientStatus::kSendFailed:
+        ++ledger_.retried_send;
+        break;
+      case ClientStatus::kRecvFailed:
+        ++ledger_.retried_recv;
+        break;
+      case ClientStatus::kTimedOut:
+        ++ledger_.retried_timeout;
+        break;
+      default:
+        ++ledger_.retried_connect;
+        break;
+    }
+  }
+  ++ledger_.failed;
+  return last;
+}
+
+}  // namespace simdx::service

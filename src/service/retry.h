@@ -1,0 +1,119 @@
+// RetryingClient: the resilience wrapper a real remote caller of the query
+// service would run — a BlockingClient plus a retry loop with capped
+// exponential backoff and deterministic seeded jitter, reconnecting and
+// re-issuing a call after TRANSPORT failures only.
+//
+// Retry policy (bench/README "transport resilience" table):
+//   * Every query the service speaks is READ-ONLY, so re-issuing one after a
+//     lost connection can never double-apply anything — connect failures,
+//     send failures, recv failures and timeouts are all safely retryable.
+//   * A typed server reject is an ANSWER, not a transport failure: Call
+//     returns kOk with reply->type == kReject and the retry loop never sees
+//     it. Retrying a reject would hammer a server that already said no.
+//   * kDecodeFailed / kProtocolError fail fast: they mean the peer is not
+//     speaking our protocol (or a codec bug) — retrying cannot fix either,
+//     and looping on a hostile endpoint is its own denial of service.
+//
+// Backoff between attempt k and k+1 (k = 0-based retry index):
+//   base   = min(backoff_max_ms, backoff_initial_ms * multiplier^k)
+//   jitter = base * jitter_fraction * u,  u ~ Uniform[-1, 1] from a
+//            mt19937_64 seeded with jitter_seed — deterministic per client,
+//            so a chaos-sweep failure replays with the identical schedule.
+//
+// Every decision is recorded in a RetryLedger so harnesses can gate on "how
+// hard did the client have to work" — and so a hung retry loop is visible
+// as a number, not a mystery.
+#ifndef SIMDX_SERVICE_RETRY_H_
+#define SIMDX_SERVICE_RETRY_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "service/client.h"
+
+namespace simdx::service {
+
+struct RetryPolicy {
+  uint32_t max_attempts = 4;        // total attempts, including the first
+  double backoff_initial_ms = 2.0;  // first retry's base delay
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 100.0;    // cap on the exponential base
+  double jitter_fraction = 0.2;     // +/- fraction of the base, seeded
+  uint64_t jitter_seed = 1;
+  // Per-operation budgets for the wrapped BlockingClient. Non-zero by
+  // default on purpose: a RetryingClient exists to bound failure, and an
+  // unbounded inner call would make max_attempts meaningless.
+  ClientTimeouts timeouts{2000.0, 2000.0, 5000.0};
+};
+
+// One backoff sample; exposed so tests can pin the deterministic schedule.
+double RetryBackoffMs(const RetryPolicy& policy, uint32_t retry_index,
+                      std::mt19937_64& rng);
+
+// Upper bound on one Call()'s wall time under `policy`: every attempt burns
+// its full connect+send+recv budget and every backoff lands at its jittered
+// maximum. The chaos sweep gates "every failure is typed AND arrives within
+// its timeout bound" against exactly this number.
+double MaxCallWallMs(const RetryPolicy& policy);
+
+struct RetryLedger {
+  uint64_t calls = 0;             // Call() invocations
+  uint64_t ok = 0;                // calls that returned kOk (incl. rejects)
+  uint64_t failed = 0;            // calls that exhausted every attempt
+  uint64_t attempts = 0;          // inner attempts launched, all calls
+  uint64_t reconnects = 0;        // (re)connects performed
+  uint64_t retried_connect = 0;   // retries by triggering failure kind
+  uint64_t retried_send = 0;
+  uint64_t retried_recv = 0;
+  uint64_t retried_timeout = 0;
+  uint64_t failfast_typed = 0;    // decode/protocol errors surfaced, no retry
+  double backoff_ms_total = 0.0;  // time spent sleeping between attempts
+};
+
+class RetryingClient {
+ public:
+  explicit RetryingClient(RetryPolicy policy = {});
+
+  RetryingClient(const RetryingClient&) = delete;
+  RetryingClient& operator=(const RetryingClient&) = delete;
+
+  // Where to (re)connect. Setting a target closes any live connection.
+  void TargetUds(std::string path);
+  void TargetTcp(std::string host, uint16_t port);
+
+  // One logical call: connects lazily, re-issues through the retry loop on
+  // transport failures, and returns the FINAL status. kOk means *reply holds
+  // the server's answer — response or typed reject, exactly like
+  // BlockingClient::Call. The request crosses attempts verbatim (same
+  // request_id), so a response raced by a retry still correlates.
+  ClientStatus Call(wire::RequestFrame request, wire::Frame* reply,
+                    std::string* error);
+
+  void Close();
+  bool connected() const { return client_.connected(); }
+  const RetryLedger& ledger() const { return ledger_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  // True for statuses the loop re-issues after: transport-level failures of
+  // a read-only call. False for kOk and the fail-fast protocol statuses.
+  static bool IsRetryable(ClientStatus s);
+
+ private:
+  ClientStatus Connect(std::string* error);
+
+  RetryPolicy policy_;
+  std::string uds_path_;
+  std::string tcp_host_;
+  uint16_t tcp_port_ = 0;
+  bool use_tcp_ = false;
+  bool has_target_ = false;
+  uint64_t next_request_id_ = 1;
+  BlockingClient client_;
+  std::mt19937_64 jitter_rng_;
+  RetryLedger ledger_;
+};
+
+}  // namespace simdx::service
+
+#endif  // SIMDX_SERVICE_RETRY_H_

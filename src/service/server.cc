@@ -43,6 +43,11 @@ wire::RejectCode RejectCodeFor(AdmissionVerdict v) {
   return wire::RejectCode::kInvalidQuery;
 }
 
+std::chrono::steady_clock::duration MsDuration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
 }  // namespace
 
 SocketServer::SocketServer(GraphService& service, ServerOptions options)
@@ -132,20 +137,14 @@ bool SocketServer::Start(std::string* error) {
   }
 
   stopping_.store(false, std::memory_order_relaxed);
+  draining_.store(false, std::memory_order_relaxed);
+  drain_clean_.store(true, std::memory_order_relaxed);
   loop_ = std::thread([this] { Loop(); });
   started_ = true;
   return true;
 }
 
-void SocketServer::Stop() {
-  if (!started_) {
-    return;
-  }
-  stopping_.store(true, std::memory_order_relaxed);
-  const char byte = 0;
-  // A full pipe already guarantees a wakeup; ignore the short write.
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
-  loop_.join();
+void SocketServer::Cleanup() {
   for (auto& conn : connections_) {
     CloseFd(conn->fd);
   }
@@ -158,6 +157,37 @@ void SocketServer::Stop() {
     ::unlink(options_.uds_path.c_str());
   }
   started_ = false;
+}
+
+void SocketServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  const char byte = 0;
+  // A full pipe already guarantees a wakeup; ignore the short write.
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  loop_.join();
+  Cleanup();
+}
+
+bool SocketServer::Drain(double deadline_ms) {
+  if (!started_) {
+    return true;
+  }
+  const auto deadline = Clock::now() + MsDuration(deadline_ms);
+  drain_deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          deadline.time_since_epoch())
+          .count(),
+      std::memory_order_release);
+  drain_clean_.store(true, std::memory_order_release);
+  draining_.store(true, std::memory_order_release);
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  loop_.join();
+  Cleanup();
+  return drain_clean_.load(std::memory_order_acquire);
 }
 
 ServerStats SocketServer::stats() const {
@@ -183,9 +213,21 @@ void SocketServer::HandleRequest(Connection& conn,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.requests;
   }
-  if (stopping_.load(std::memory_order_relaxed)) {
+  if (stopping_.load(std::memory_order_relaxed) ||
+      draining_.load(std::memory_order_relaxed)) {
     EnqueueReject(conn, req.request_id, wire::RejectCode::kServerStopping,
                   "server stopping");
+    return;
+  }
+  // Per-connection pipeline cap: the global admission queue is shared — one
+  // connection streaming requests without reading answers must hit ITS
+  // limit, not everyone's.
+  if (options_.max_pipeline > 0 &&
+      conn.pending.size() >= options_.max_pipeline) {
+    EnqueueReject(conn, req.request_id, wire::RejectCode::kPipelineFull,
+                  "per-connection pipeline cap reached");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.pipeline_rejects;
     return;
   }
   Query query;
@@ -221,10 +263,12 @@ void SocketServer::HandleRequest(Connection& conn,
 
 void SocketServer::HandleReadable(Connection& conn) {
   uint8_t buf[64 * 1024];
+  bool got_bytes = false;
   while (true) {
     const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
     if (n > 0) {
       conn.decoder.Feed(buf, static_cast<size_t>(n));
+      got_bytes = true;
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.bytes_rx += static_cast<uint64_t>(n);
       if (static_cast<size_t>(n) == sizeof(buf)) {
@@ -244,6 +288,9 @@ void SocketServer::HandleReadable(Connection& conn) {
     }
     conn.closing = true;  // hard error: retire the connection
     break;
+  }
+  if (got_bytes) {
+    conn.last_rx = Clock::now();
   }
 
   // Drain every complete frame the new bytes finished. A fatal status
@@ -286,6 +333,61 @@ void SocketServer::HandleReadable(Connection& conn) {
       break;
     }
   }
+
+  // Partial-frame clock for the slow-loris bound: starts when a partial
+  // first appears, survives further trickle (more bytes do NOT reset it),
+  // clears only when the frame completes.
+  if (conn.decoder.buffered() > 0) {
+    if (!conn.mid_frame) {
+      conn.mid_frame = true;
+      conn.partial_since = Clock::now();
+    }
+  } else {
+    conn.mid_frame = false;
+  }
+}
+
+// The per-iteration timeout police: idle reap, slow-loris reject, slow-reader
+// abort. Ordering matters — the header timeout answers with a typed reject
+// (the peer is TALKING, just too slowly), the idle and slow-reader closes
+// are abrupt (there is nobody listening worth answering).
+void SocketServer::EnforceLifecycle(Connection& conn, Clock::time_point now) {
+  if (conn.closing || conn.aborted) {
+    return;
+  }
+  if (options_.header_timeout_ms > 0 && conn.mid_frame &&
+      now - conn.partial_since > MsDuration(options_.header_timeout_ms)) {
+    EnqueueReject(conn, 0, wire::RejectCode::kTimedOut,
+                  "partial frame exceeded header timeout");
+    conn.closing = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.header_timeout_closed;
+    return;
+  }
+  if (options_.idle_timeout_ms > 0 && conn.pending.empty() &&
+      conn.out.empty() && !conn.mid_frame &&
+      now - conn.last_rx > MsDuration(options_.idle_timeout_ms)) {
+    conn.aborted = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.idle_closed;
+    return;
+  }
+  if (options_.max_outbuf_bytes > 0) {
+    const size_t backlog = conn.out.size() - conn.out_pos;
+    if (backlog > options_.max_outbuf_bytes) {
+      if (!conn.outbuf_over) {
+        conn.outbuf_over = true;
+        conn.outbuf_over_since = now;
+      } else if (now - conn.outbuf_over_since >
+                 MsDuration(options_.write_stall_timeout_ms)) {
+        conn.aborted = true;  // flow control failed; the peer is not reading
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.slow_reader_closed;
+      }
+    } else {
+      conn.outbuf_over = false;
+    }
+  }
 }
 
 void SocketServer::PollPending(Connection& conn) {
@@ -313,6 +415,9 @@ void SocketServer::PollPending(Connection& conn) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.responses;
+      if (draining_.load(std::memory_order_relaxed)) {
+        ++stats_.drained_replies;
+      }
     }
     conn.pending.erase(conn.pending.begin() + static_cast<ptrdiff_t>(i));
   }
@@ -320,8 +425,10 @@ void SocketServer::PollPending(Connection& conn) {
 
 void SocketServer::FlushWrites(Connection& conn) {
   while (conn.out_pos < conn.out.size()) {
-    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
-                              conn.out.size() - conn.out_pos);
+    // MSG_NOSIGNAL: a peer that closed between our accept and this write
+    // must cost an errno, never a SIGPIPE through the whole process.
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out_pos += static_cast<size_t>(n);
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -333,6 +440,10 @@ void SocketServer::FlushWrites(Connection& conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       break;  // kernel buffer full; POLLOUT resumes us
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.broken_pipe_writes;
     }
     conn.closing = true;  // peer gone mid-write
     conn.out_pos = conn.out.size();
@@ -353,20 +464,20 @@ void SocketServer::CloseConnection(Connection& conn) {
 void SocketServer::Loop() {
   std::vector<pollfd> fds;
   bool stop_seen = false;
-  std::chrono::steady_clock::time_point stop_since;
+  Clock::time_point stop_since;
   while (true) {
     const bool stop = stopping_.load(std::memory_order_relaxed);
+    const bool draining = draining_.load(std::memory_order_relaxed);
+    const auto now = Clock::now();
     if (stop && !stop_seen) {
       stop_seen = true;
-      stop_since = std::chrono::steady_clock::now();
+      stop_since = now;
     }
     if (stop) {
       // Every connection drains (pending replies resolve, owed frames
       // flush) and then closes; a peer that stops reading gets a bounded
       // grace, not a hung shutdown.
-      const bool grace_over =
-          std::chrono::steady_clock::now() - stop_since >
-          std::chrono::seconds(2);
+      const bool grace_over = now - stop_since > std::chrono::seconds(2);
       for (auto& conn : connections_) {
         conn->closing = true;
         if (grace_over) {
@@ -375,23 +486,50 @@ void SocketServer::Loop() {
           conn->out_pos = 0;
         }
       }
+    } else if (draining) {
+      // Drain: connections KEEP reading (so a request sent mid-drain gets
+      // its kServerStopping reject, not an EOF), but one that owes nothing
+      // closes now. Past the deadline the stragglers are cut loose.
+      const auto deadline = Clock::time_point(std::chrono::duration_cast<
+          Clock::duration>(std::chrono::nanoseconds(
+          drain_deadline_ns_.load(std::memory_order_acquire))));
+      const bool deadline_over = now > deadline;
+      for (auto& conn : connections_) {
+        if (conn->pending.empty() && conn->out.empty()) {
+          conn->closing = true;
+        } else if (deadline_over) {
+          if (!conn->pending.empty()) {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            stats_.drain_dropped += conn->pending.size();
+          }
+          conn->pending.clear();
+          conn->out.clear();
+          conn->out_pos = 0;
+          conn->closing = true;
+          drain_clean_.store(false, std::memory_order_release);
+        }
+      }
     }
 
-    // Resolve futures first so their frames join this cycle's write flush.
+    // Resolve futures first so their frames join this cycle's write flush;
+    // then let the timeout police look at what is left.
     bool any_pending = false;
     for (auto& conn : connections_) {
       PollPending(*conn);
       if (!conn->out.empty()) {
         FlushWrites(*conn);
       }
+      EnforceLifecycle(*conn, now);
       any_pending = any_pending || !conn->pending.empty();
     }
 
     // Retire connections that are done: flagged closing with nothing left
-    // to flush, and no pending reply that could still want the socket.
+    // to flush (and no reply that could still want the socket), or aborted
+    // outright by the lifecycle police.
     for (size_t i = 0; i < connections_.size();) {
       Connection& conn = *connections_[i];
-      if ((conn.closing && conn.out.empty() && conn.pending.empty()) ||
+      if (conn.aborted ||
+          (conn.closing && conn.out.empty() && conn.pending.empty()) ||
           conn.fd < 0) {
         CloseConnection(conn);
         connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(i));
@@ -400,7 +538,7 @@ void SocketServer::Loop() {
       }
     }
 
-    if (stop && connections_.empty()) {
+    if ((stop || draining) && connections_.empty()) {
       return;
     }
 
@@ -409,17 +547,24 @@ void SocketServer::Loop() {
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     size_t uds_idx = SIZE_MAX;
     size_t tcp_idx = SIZE_MAX;
-    if (!stop && uds_listen_fd_ >= 0) {
+    const bool accepting = !stop && !draining;
+    if (accepting && uds_listen_fd_ >= 0) {
       uds_idx = fds.size();
       fds.push_back({uds_listen_fd_, POLLIN, 0});
     }
-    if (!stop && tcp_listen_fd_ >= 0) {
+    if (accepting && tcp_listen_fd_ >= 0) {
       tcp_idx = fds.size();
       fds.push_back({tcp_listen_fd_, POLLIN, 0});
     }
     const size_t conn_base = fds.size();
     for (auto& conn : connections_) {
-      short events = POLLIN;
+      short events = 0;
+      // Read-side flow control: a connection whose outbound backlog is over
+      // the cap gets no POLLIN — it cannot create new work until it drains
+      // what it already owes. (POLLERR/POLLHUP are always reported.)
+      if (!conn->outbuf_over) {
+        events |= POLLIN;
+      }
       if (!conn->out.empty()) {
         events |= POLLOUT;
       }
@@ -428,10 +573,18 @@ void SocketServer::Loop() {
 
     // While replies are pending the loop wakes briskly (futures resolve in
     // GraphService worker threads and have no way to poke the poll);
-    // otherwise it parks until traffic or the stop pipe arrives.
-    const int timeout_ms = stop ? options_.busy_poll_ms
-                          : any_pending ? options_.busy_poll_ms
-                                        : 100;
+    // otherwise it parks until traffic or the stop pipe arrives — clamped
+    // to 20 ms whenever lifecycle timers could fire, so a timeout is acted
+    // on at most that late.
+    int timeout_ms = (stop || draining || any_pending) ? options_.busy_poll_ms
+                                                       : 100;
+    const bool timers_armed =
+        !connections_.empty() &&
+        (options_.idle_timeout_ms > 0 || options_.header_timeout_ms > 0 ||
+         options_.max_outbuf_bytes > 0);
+    if (timers_armed && timeout_ms > 20) {
+      timeout_ms = 20;
+    }
     const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
     if (rc < 0 && errno != EINTR) {
       return;  // poll itself failed; nothing sane left to do
@@ -441,8 +594,8 @@ void SocketServer::Loop() {
     }
 
     if (fds[wake_idx].revents & POLLIN) {
-      char drain[64];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      char drain_buf[64];
+      while (::read(wake_pipe_[0], drain_buf, sizeof(drain_buf)) > 0) {
       }
     }
     for (const size_t idx : {uds_idx, tcp_idx}) {
@@ -461,8 +614,13 @@ void SocketServer::Loop() {
           continue;
         }
         SetNonBlocking(cfd);
+        if (options_.sndbuf_bytes > 0) {
+          ::setsockopt(cfd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                       sizeof(options_.sndbuf_bytes));
+        }
         auto conn = std::make_unique<Connection>();
         conn->fd = cfd;
+        conn->last_rx = Clock::now();
         connections_.push_back(std::move(conn));
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.accepted;
@@ -475,10 +633,14 @@ void SocketServer::Loop() {
       }
       const short revents = fds[idx].revents;
       Connection& conn = *connections_[i];
-      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      if (revents & (POLLERR | POLLNVAL)) {
         conn.closing = true;
       }
-      if ((revents & POLLIN) && !conn.closing) {
+      // POLLHUP alone is NOT a close: a peer that shut down its write side
+      // may still be reading our replies. The read loop below sees its EOF
+      // and flags closing once the bytes agree.
+      if ((revents & (POLLIN | POLLHUP)) && !conn.closing &&
+          !conn.outbuf_over) {
         HandleReadable(conn);
       }
       if ((revents & POLLOUT) || !conn.out.empty()) {

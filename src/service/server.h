@@ -18,15 +18,44 @@
 // client sees exactly the shed/reject taxonomy an in-process caller gets
 // from Ticket::verdict.
 //
+// Connection-lifecycle hardening (PR 10) — every way a PEER can hold the
+// server's resources hostage gets a bounded, typed ending:
+//   * idle_timeout_ms reaps connections that owe nothing and say nothing —
+//     the fd-exhaustion guard against clients that connect and park.
+//   * header_timeout_ms reaps the slow-loris: a connection sitting on a
+//     PARTIAL frame too long gets a kTimedOut reject, then the close. The
+//     clock starts when the partial appears, so trickling one byte per
+//     second cannot reset it.
+//   * max_outbuf_bytes bounds what a non-reading peer can pin in our
+//     outbound buffer. Over the cap the loop stops POLLIN on that
+//     connection (read-side flow control: no new requests can grow the
+//     debt) and, if the backlog will not drain within
+//     write_stall_timeout_ms, closes it abruptly — slow readers get
+//     backpressure first, the axe second.
+//   * max_pipeline caps in-flight requests PER CONNECTION with a typed
+//     kPipelineFull reject — the per-peer sibling of the service's global
+//     admission queue, so one connection cannot monopolize it.
+//   * every write is send(..., MSG_NOSIGNAL): a peer closing mid-write is
+//     an EPIPE counted in stats, never a process-killing SIGPIPE.
+//
+// Shutdown comes in two shapes: Stop() (close everything, bounded 2 s
+// grace) and Drain(deadline_ms) — stop accepting, keep serving until every
+// in-flight reply has been written, answer any NEW request with a
+// kServerStopping reject, and only then close; past the deadline the
+// stragglers are dropped (counted) and Drain returns false.
+//
 // Threading: one dispatch thread owns every fd and every connection state;
 // GraphService worker threads resolve the futures the loop polls. Stats are
 // mutex-guarded for cross-thread reads. The loop sleeps in poll(2) — a
-// self-pipe wakes it for Stop(), and a short poll timeout bounds
-// future-resolution latency while queries are in flight.
+// self-pipe wakes it for Stop()/Drain(), and a short poll timeout bounds
+// future-resolution latency while queries are in flight (clamped to 20 ms
+// whenever lifecycle timers are armed, so a timeout can fire at most that
+// late).
 #ifndef SIMDX_SERVICE_SERVER_H_
 #define SIMDX_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -58,6 +87,26 @@ struct ServerOptions {
   // written. The idle timeout (nothing pending) is fixed at 100 ms; Stop()
   // wakes the loop immediately through the self-pipe either way.
   int busy_poll_ms = 1;
+
+  // ---- Lifecycle hardening (all off at 0, preserving legacy behavior) ----
+  // Close connections that owe nothing (no pending reply, no outbound
+  // bytes, no partial frame) and have sent nothing for this long.
+  double idle_timeout_ms = 0.0;
+  // A connection holding a PARTIAL frame older than this gets a kTimedOut
+  // reject and then the close — the slow-loris bound.
+  double header_timeout_ms = 0.0;
+  // Outbound-buffer cap per connection. Over it, POLLIN is suppressed
+  // (read-side flow control); if the backlog has not dropped back under the
+  // cap within write_stall_timeout_ms, the connection is closed abruptly.
+  size_t max_outbuf_bytes = 0;
+  double write_stall_timeout_ms = 5000.0;
+  // Per-connection in-flight request cap; over it new requests get a typed
+  // kPipelineFull reject (0 = unlimited).
+  uint32_t max_pipeline = 0;
+  // SO_SNDBUF for accepted sockets (0 = kernel default). Exists so tests
+  // can shrink the kernel's own buffering enough to exercise the
+  // max_outbuf_bytes machinery with realistic payload sizes.
+  int sndbuf_bytes = 0;
 };
 
 // Monotonic dispatch-loop ledger, readable while the loop runs.
@@ -72,6 +121,14 @@ struct ServerStats {
   uint64_t rejects = 0;           // reject frames written (all codes)
   uint64_t decode_errors = 0;     // frames refused by the codec
   uint64_t fatal_decode_errors = 0;  // subset that also closed the stream
+  // Lifecycle-hardening ledger (PR 10).
+  uint64_t idle_closed = 0;           // reaped by idle_timeout_ms
+  uint64_t header_timeout_closed = 0; // slow-loris reaped (after kTimedOut)
+  uint64_t slow_reader_closed = 0;    // outbuf over cap and never drained
+  uint64_t pipeline_rejects = 0;      // kPipelineFull rejects sent
+  uint64_t broken_pipe_writes = 0;    // EPIPE/ECONNRESET on send (no signal)
+  uint64_t drained_replies = 0;       // responses delivered during Drain
+  uint64_t drain_dropped = 0;         // pending replies dropped at deadline
 };
 
 class SocketServer {
@@ -94,6 +151,13 @@ class SocketServer {
   // responses are simply no longer deliverable. Idempotent.
   void Stop();
 
+  // Graceful shutdown: stop accepting, answer every in-flight request,
+  // reject anything NEW with kServerStopping, close each connection once it
+  // owes nothing, then return. True when every pending reply was delivered
+  // within deadline_ms; false when the deadline forced drops (counted in
+  // stats().drain_dropped). The server is fully stopped either way.
+  bool Drain(double deadline_ms);
+
   // Resolved TCP port (after Start, when options.tcp).
   uint16_t tcp_port() const { return resolved_tcp_port_; }
   const std::string& uds_path() const { return options_.uds_path; }
@@ -101,6 +165,8 @@ class SocketServer {
   ServerStats stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct PendingReply {
     uint64_t request_id = 0;
     uint8_t kind = 0;
@@ -114,9 +180,17 @@ class SocketServer {
     size_t out_pos = 0;
     std::vector<PendingReply> pending;
     bool closing = false;  // flush out, then close (fatal decode error)
+    bool aborted = false;  // close NOW, owing nothing (timeout/slow reader)
+    // Lifecycle bookkeeping.
+    Clock::time_point last_rx;       // last byte read (accept counts)
+    bool mid_frame = false;          // decoder holds a partial frame
+    Clock::time_point partial_since; // when that partial first appeared
+    bool outbuf_over = false;        // backlog currently over the cap
+    Clock::time_point outbuf_over_since;
   };
 
   void Loop();
+  void EnforceLifecycle(Connection& conn, Clock::time_point now);
   void HandleReadable(Connection& conn);
   void HandleRequest(Connection& conn, const wire::RequestFrame& req);
   void PollPending(Connection& conn);
@@ -124,17 +198,23 @@ class SocketServer {
   void EnqueueReject(Connection& conn, uint64_t request_id,
                      wire::RejectCode code, const std::string& detail);
   void CloseConnection(Connection& conn);
+  void Cleanup();
 
   GraphService& service_;
   const ServerOptions options_;
   int uds_listen_fd_ = -1;
   int tcp_listen_fd_ = -1;
   uint16_t resolved_tcp_port_ = 0;
-  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() -> poll wakeup
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop()/Drain() -> poll wakeup
   std::vector<std::unique_ptr<Connection>> connections_;
   std::thread loop_;
   bool started_ = false;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  // Drain deadline as nanoseconds on the steady clock (set before the
+  // draining_ flag; read by the loop thread).
+  std::atomic<int64_t> drain_deadline_ns_{0};
+  std::atomic<bool> drain_clean_{true};
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
